@@ -1,0 +1,1 @@
+bench/harness.ml: Ddsm_core Ddsm_machine Ddsm_report Ddsm_runtime Format List String Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Ddsm_core Ddsm_machine Ddsm_report Float Format Harness Hashtbl Instance List Measure Option Printf Staged Sys Test Time Toolkit Unix Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Ddsm_machine Printf

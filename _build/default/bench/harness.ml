@@ -1,0 +1,86 @@
+(* Measurement helpers for the figure/table reproductions. *)
+
+module Ddsm = Ddsm_core.Ddsm
+module Flags = Ddsm_core.Ddsm.Flags
+
+type setup = {
+  machine_procs : int;  (** fixed machine size the jobs run on *)
+  factor : int;  (** capacity-scaling factor (see DESIGN.md) *)
+  heap_words : int;
+  page_bytes : int option;
+      (** override the scaled page size: some experiments need the paper's
+          page-to-data-structure ratio rather than the scaled one *)
+}
+
+let mk_setup ?page_bytes ~machine_procs ~factor ~heap_words () =
+  { machine_procs; factor; heap_words; page_bytes }
+
+(* staged: compile once per source, run per processor count *)
+let compile ?(flags = Flags.all_on) src =
+  match Ddsm.compile_source ~flags ~fname:"<bench>" src with
+  | Error es -> failwith (String.concat "\n" es)
+  | Ok obj -> (
+      match Ddsm.link [ obj ] with
+      | Error es -> failwith (String.concat "\n" es)
+      | Ok (prog, _) -> prog)
+
+let run_prog ~setup ~version ~nprocs prog =
+  let policy = Workloads.policy_of version in
+  let module Config = Ddsm_machine.Config in
+  let cfg =
+    Config.scaled ~nprocs:(max setup.machine_procs nprocs) ~factor:setup.factor ()
+  in
+  let cfg =
+    match setup.page_bytes with
+    | None -> cfg
+    | Some pb -> { cfg with Config.page_bytes = pb }
+  in
+  let rt =
+    Ddsm_runtime.Rt.create cfg ~policy ~heap_words:setup.heap_words
+      ~job_procs:nprocs ()
+  in
+  match Ddsm.run prog ~rt ~checks:false () with
+  | Ok o -> o
+  | Error m -> failwith ("bench run failed: " ^ m)
+
+(* Cycles of the iterated phase alone: run with T and with 2T iterations of
+   the measured loop and difference the totals, cancelling initialization
+   and start-up exactly (the simulator is deterministic). *)
+let phase_cycles ?flags ~setup ~version ~nprocs ~(mk : iters:int -> string)
+    ~iters () =
+  let c1 =
+    (run_prog ~setup ~version ~nprocs (compile ?flags (mk ~iters))).Ddsm.Engine.cycles
+  in
+  let c2 =
+    (run_prog ~setup ~version ~nprocs (compile ?flags (mk ~iters:(2 * iters))))
+      .Ddsm.Engine.cycles
+  in
+  max 1 (c2 - c1)
+
+(* Cycles of the FIRST (cold) execution of the iterated phase: difference
+   of a 1-iteration and a 0-iteration run, isolating the phase with its
+   compulsory misses — how the paper measures the single-sweep kernels. *)
+let cold_phase_cycles ?flags ~setup ~version ~nprocs ~(mk : iters:int -> string)
+    () =
+  let c0 =
+    (run_prog ~setup ~version ~nprocs (compile ?flags (mk ~iters:0))).Ddsm.Engine.cycles
+  in
+  let c1 =
+    (run_prog ~setup ~version ~nprocs (compile ?flags (mk ~iters:1))).Ddsm.Engine.cycles
+  in
+  max 1 (c1 - c0)
+
+let total_cycles ?flags ~setup ~version ~nprocs src =
+  (run_prog ~setup ~version ~nprocs (compile ?flags src)).Ddsm.Engine.cycles
+
+let outcome ?flags ~setup ~version ~nprocs src =
+  run_prog ~setup ~version ~nprocs (compile ?flags src)
+
+(* speedup series over a processor sweep, relative to [baseline] cycles *)
+let speedup_series ~label ~baseline measurements =
+  Ddsm_report.Series.speedup ~baseline:(float_of_int baseline) ~label
+    (List.map (fun (p, c) -> (p, float_of_int c)) measurements)
+
+let check ppf name ok =
+  Format.fprintf ppf "  [%s] %s@." (if ok then "ok" else "MISS") name;
+  ok

@@ -1,0 +1,363 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§8) on the simulated Origin-2000.
+
+     table2 — Table 2: effect of the reshape optimizations on LU, 1 processor
+     fig4   — Figure 4: NAS-LU speedups, 4 placement versions
+     fig5   — Figure 5: matrix transpose speedups
+     fig6   — Figure 6: 2-D convolution (small input), 1- and 2-level
+     fig7   — Figure 7: 2-D convolution (large input), 1- and 2-level
+
+   Problem sizes are scaled down (DESIGN.md §2) with machine capacities
+   scaled alongside, so each experiment runs in the same regime (data vs.
+   cache, portion vs. page) as the paper's full-size runs. Absolute numbers
+   differ; the harness checks the paper's qualitative claims explicitly.
+
+   `bechamel` runs host-side microbenchmarks of the simulator itself. *)
+
+module Ddsm = Ddsm_core.Ddsm
+module Flags = Ddsm_core.Ddsm.Flags
+module Series = Ddsm_report.Series
+module Stats = Ddsm_report.Stats
+module W = Workloads
+module H = Harness
+
+let ppf = Format.std_formatter
+let section title = Format.fprintf ppf "@.==== %s ====@.@." title
+
+let all_versions = [ W.First_touch; W.Round_robin; W.Regular; W.Reshaped ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 *)
+
+let table2 ~quick =
+  section "Table 2: Effect of Reshape Optimizations (LU kernel, 1 processor)";
+  let n = if quick then 10 else 26 in
+  let setup = H.mk_setup ~machine_procs:8 ~factor:64 ~heap_words:(1 lsl 22) () in
+  let mk version ~iters = W.lu ~n ~iters version in
+  let measure ?flags version =
+    H.phase_cycles ?flags ~setup ~version ~nprocs:1 ~mk:(mk version) ~iters:1 ()
+  in
+  let rows =
+    [
+      ("Reshape, no optimizations", measure ~flags:Flags.all_off W.Reshaped, 83.91);
+      ("Reshape, tile and peel", measure ~flags:Flags.tile_peel W.Reshaped, 53.26);
+      ("Reshape, tile and peel, hoist", measure ~flags:Flags.tile_peel_hoist W.Reshaped, 46.23);
+      ("Original code without reshaping", measure ~flags:Flags.all_on W.First_touch, 45.71);
+    ]
+  in
+  let _, base, pbase = List.nth rows 3 in
+  Format.fprintf ppf "%-36s %14s %10s %12s %10s@." "Optimization" "cycles"
+    "vs orig" "paper (s)" "paper rel";
+  List.iter
+    (fun (label, cycles, paper) ->
+      Format.fprintf ppf "%-36s %14d %9.2fx %12.2f %9.2fx@." label cycles
+        (float_of_int cycles /. float_of_int base)
+        paper (paper /. pbase))
+    rows;
+  Format.pp_print_newline ppf ();
+  let cyc i = (fun (_, c, _) -> c) (List.nth rows i) in
+  ignore (H.check ppf "tiling+peeling is a large improvement (>= 1.3x)"
+            (float_of_int (cyc 0) /. float_of_int (cyc 1) >= 1.3));
+  ignore (H.check ppf "hoisting improves further" (cyc 2 < cyc 1));
+  ignore
+    (H.check ppf "fully optimized reshaped code within 15% of original"
+       (float_of_int (cyc 2) /. float_of_int base < 1.15));
+  ignore
+    (H.check ppf "unoptimized reshaped code much slower than original (>= 1.5x)"
+       (float_of_int (cyc 0) /. float_of_int base >= 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* generic speedup experiment *)
+
+let speedup_experiment ?(cold = false) ~setup ~procs ~mk ~iters () =
+  let measure ~version ~nprocs =
+    if cold then
+      H.cold_phase_cycles ~setup ~version ~nprocs ~mk:(mk version) ()
+    else H.phase_cycles ~setup ~version ~nprocs ~mk:(mk version) ~iters ()
+  in
+  (* serial baseline: the undistributed code on one processor *)
+  let baseline = measure ~version:W.First_touch ~nprocs:1 in
+  let series =
+    List.map
+      (fun version ->
+        let pts = List.map (fun p -> (p, measure ~version ~nprocs:p)) procs in
+        (version, H.speedup_series ~label:(W.version_label version) ~baseline pts))
+      all_versions
+  in
+  (baseline, series)
+
+let value_at series version p =
+  let s = List.assq version series in
+  List.find_map
+    (fun pt -> if pt.Series.x = p then Some pt.Series.y else None)
+    s.Series.points
+  |> Option.value ~default:0.0
+
+let print_series ~title ~series =
+  Format.fprintf ppf "@.%s@.@." title;
+  let ss = List.map snd series in
+  Series.pp_table ~ylabel:"speedup" ~xlabel:"procs" ppf ss;
+  Format.pp_print_newline ppf ();
+  Series.pp_chart ~ideal:true ~xlabel:"processors" ppf ss
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: LU *)
+
+let fig4 ~quick =
+  section "Figure 4: NAS-LU speedups (scaled class C)";
+  let n = if quick then 12 else 24 in
+  let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let setup =
+    H.mk_setup ~machine_procs:(List.fold_left max 1 procs) ~factor:256
+      ~heap_words:(1 lsl 22) ()
+  in
+  let mk version ~iters = W.lu ~n ~iters version in
+  let _, series = speedup_experiment ~setup ~procs ~mk ~iters:1 () in
+  print_series ~title:(Printf.sprintf "LU (5,%d,%d,%d), dist (*,block,block,*)" n n n) ~series;
+  let pmax = List.fold_left max 1 procs in
+  let v = value_at series in
+  Format.pp_print_newline ppf ();
+  ignore
+    (H.check ppf "all four versions scale (speedup >= P/3 at max P)"
+       (List.for_all
+          (fun ver -> v ver pmax >= float_of_int pmax /. 3.0)
+          all_versions));
+  ignore
+    (H.check ppf "reshaped is best or near-best at max P"
+       (v W.Reshaped pmax >= 0.9 *. List.fold_left (fun m x -> Float.max m (v x pmax)) 0.0 all_versions));
+  ignore
+    (H.check ppf "first-touch benefits from parallel initialization (>= round-robin)"
+       (v W.First_touch pmax >= 0.9 *. v W.Round_robin pmax));
+  (* the paper's hardware-counter observation: total L2 misses drop sharply
+     from 1 to 16 processors thanks to the growing aggregate cache *)
+  if not quick then begin
+    let misses p =
+      let o =
+        H.outcome ~setup ~version:W.Reshaped ~nprocs:p (W.lu ~n ~iters:2 W.Reshaped)
+      in
+      o.Ddsm.Engine.counters.Ddsm_machine.Counters.l2_misses
+    in
+    let m1 = misses 1 and m32 = misses 32 in
+    Format.fprintf ppf
+      "  L2 misses: %d (P=1) -> %d (P=32), factor %.1f (paper: ~3x from 1 to 16)@."
+      m1 m32 (float_of_int m1 /. float_of_int (max 1 m32));
+    ignore (H.check ppf "aggregate cache cuts misses (>= 1.3x)" (m1 * 10 >= m32 * 13))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: transpose *)
+
+let fig5 ~quick =
+  section "Figure 5: Matrix Transpose speedups";
+  let n = if quick then 160 else 512 in
+  let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 8; 16; 32; 64; 96 ] in
+  let setup =
+    H.mk_setup ~machine_procs:(List.fold_left max 1 procs) ~factor:256
+      ~page_bytes:4096 ~heap_words:(1 lsl 23) ()
+  in
+  let mk version ~iters = W.transpose ~n ~iters version in
+  let _, series = speedup_experiment ~setup ~procs ~mk ~iters:1 () in
+  print_series
+    ~title:(Printf.sprintf "Transpose %dx%d, A(*,block) B(block,*), serial init" n n)
+    ~series;
+  let pmax = List.fold_left max 1 procs in
+  let pmid = if quick then 4 else 32 in
+  let v = value_at series in
+  Format.pp_print_newline ppf ();
+  ignore
+    (H.check ppf "reshaped wins clearly at moderate P (>= 1.3x round-robin)"
+       (v W.Reshaped pmid >= 1.3 *. v W.Round_robin pmid));
+  ignore
+    (H.check ppf "round-robin beats first-touch and regular (hot-node bottleneck)"
+       (v W.Round_robin pmid >= v W.First_touch pmid
+       && v W.Round_robin pmid >= v W.Regular pmid));
+  ignore
+    (H.check ppf "first-touch and regular collapse (speedup < P/3 at max P)"
+       (v W.First_touch pmax < float_of_int pmax /. 3.0
+       && v W.Regular pmax < float_of_int pmax /. 3.0));
+  (* §8.2's TLB observation: reshaping uses all the data in a page, so it
+     spends a much smaller fraction of its time in TLB misses *)
+  let tlb version p =
+    let o = H.outcome ~setup ~version ~nprocs:p (W.transpose ~n ~iters:2 version) in
+    o.Ddsm.Engine.counters.Ddsm_machine.Counters.tlb_misses
+  in
+  let rr = tlb W.Round_robin pmax and rs = tlb W.Reshaped pmax in
+  Format.fprintf ppf
+    "  TLB misses at P=%d: round-robin %d, reshaped %d (paper: reshaping less than half the TLB time)@."
+    pmax rr rs;
+  ignore (H.check ppf "reshaping reduces TLB misses" (rs < rr))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6 and 7: 2-D convolution *)
+
+let conv_figure ~name ~n ~procs ~setup ~quick =
+  let pmax = List.fold_left max 1 procs in
+  let pmid = if quick then 4 else if List.mem 32 procs then 32 else 16 in
+  (* one level of parallelism: ( *, block ) *)
+  let mk1 version ~iters = W.convolution ~n ~iters ~two_level:false version in
+  let _, s1 = speedup_experiment ~cold:true ~setup ~procs ~mk:mk1 ~iters:1 () in
+  print_series
+    ~title:(Printf.sprintf "%s: %dx%d, (*,block), one level of parallelism" name n n)
+    ~series:s1;
+  (* two levels: (block, block) *)
+  let mk2 version ~iters = W.convolution ~n ~iters ~two_level:true version in
+  let _, s2 = speedup_experiment ~cold:true ~setup ~procs ~mk:mk2 ~iters:1 () in
+  print_series
+    ~title:(Printf.sprintf "%s: %dx%d, (block,block), two levels of parallelism" name n n)
+    ~series:s2;
+  Format.pp_print_newline ppf ();
+  let v1 = value_at s1 and v2 = value_at s2 in
+  ignore
+    (H.check ppf "one level: serial init makes first-touch worst"
+       (v1 W.First_touch pmid
+       <= List.fold_left (fun m x -> Float.min m (v1 x pmid)) infinity all_versions
+          +. 0.01));
+  ignore
+    (H.check ppf "one level: reshaped at or near the top at moderate P"
+       (v1 W.Reshaped pmid
+       >= 0.9 *. List.fold_left (fun m x -> Float.max m (v1 x pmid)) 0.0 all_versions));
+  ignore
+    (H.check ppf
+       "two levels: reshaped clearly beats first-touch/regular (page+line false sharing)"
+       (v2 W.Reshaped pmax >= 1.2 *. v2 W.First_touch pmax
+       && v2 W.Reshaped pmax >= 1.2 *. v2 W.Regular pmax));
+  ignore
+    (H.check ppf "two levels: round-robin is the best non-reshaped option"
+       (v2 W.Round_robin pmax >= v2 W.First_touch pmax
+       && v2 W.Round_robin pmax >= v2 W.Regular pmax));
+  (v1, v2)
+
+let fig6 ~quick =
+  section "Figure 6: 2-D Convolution, small input";
+  let n = if quick then 96 else 256 in
+  let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 8; 16; 32; 64; 96 ] in
+  let setup =
+    H.mk_setup ~machine_procs:(List.fold_left max 1 procs) ~factor:64
+      ~page_bytes:4096 ~heap_words:(1 lsl 22) ()
+  in
+  ignore (conv_figure ~name:"Fig 6 (scaled 1000x1000)" ~n ~procs ~setup ~quick)
+
+let fig7 ~quick =
+  section "Figure 7: 2-D Convolution, large input";
+  let n = if quick then 160 else 640 in
+  let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 4; 16; 48; 96 ] in
+  let setup =
+    H.mk_setup ~machine_procs:(List.fold_left max 1 procs) ~factor:64
+      ~page_bytes:4096 ~heap_words:(1 lsl 24) ()
+  in
+  let v1, _ = conv_figure ~name:"Fig 7 (scaled 5000x5000)" ~n ~procs ~setup ~quick in
+  (* §8.4: on the large input, regular distribution is perfectly adequate
+     for ( *, block ): portions are much larger than a page *)
+  let pmid = if quick then 4 else 16 in
+  ignore
+    (H.check ppf
+       "large input, one level: regular within 20% of reshaped (portions >> page)"
+       (v1 W.Regular pmid >= 0.8 *. v1 W.Reshaped pmid))
+
+(* ------------------------------------------------------------------ *)
+(* Ablation study: contribution of each §7 optimization *)
+
+let ablate ~quick =
+  section "Ablation: per-optimization contribution (reshaped LU kernel, 1 proc)";
+  let n = if quick then 8 else 14 in
+  let setup = H.mk_setup ~machine_procs:8 ~factor:64 ~heap_words:(1 lsl 21) () in
+  let mk ~iters = W.lu ~n ~iters W.Reshaped in
+  let measure flags = H.phase_cycles ~flags ~setup ~version:W.Reshaped ~nprocs:1 ~mk ~iters:1 () in
+  let full = measure Flags.all_on in
+  let none = measure Flags.all_off in
+  Format.fprintf ppf "all optimizations: %d cycles;  none: %d cycles (%.2fx)@.@."
+    full none
+    (float_of_int none /. float_of_int full);
+  Format.fprintf ppf "%-22s %14s %9s %14s %9s@." "flag" "without (drop)"
+    "slowdown" "alone (add)" "speedup";
+  let variants =
+    [
+      ("tile", (fun f v -> { f with Flags.tile = v }));
+      ("peel", (fun f v -> { f with Flags.peel = v }));
+      ("skew", (fun f v -> { f with Flags.skew = v }));
+      ("hoist", (fun f v -> { f with Flags.hoist = v }));
+      ("cse", (fun f v -> { f with Flags.cse = v }));
+      ("fp_divmod", (fun f v -> { f with Flags.fp_divmod = v }));
+      ("interchange", (fun f v -> { f with Flags.interchange = v }));
+    ]
+  in
+  List.iter
+    (fun (name, set) ->
+      let without = measure (set Flags.all_on false) in
+      let alone = measure (set Flags.all_off true) in
+      Format.fprintf ppf "%-22s %14d %8.2fx %14d %8.2fx@." name without
+        (float_of_int without /. float_of_int full)
+        alone
+        (float_of_int none /. float_of_int alone))
+    variants;
+  Format.fprintf ppf
+    "@.('without' = all_on minus the flag, vs. the fully optimized %d;@."
+    full;
+  Format.fprintf ppf
+    " 'alone' = all_off plus the flag, vs. the unoptimized %d.)@." none
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the simulator itself *)
+
+let bechamel () =
+  section "Bechamel: host-side microbenchmarks of the toolchain";
+  let open Bechamel in
+  let open Toolkit in
+  let compile_test =
+    Test.make ~name:"compile+lower transpose(64)"
+      (Staged.stage (fun () ->
+           ignore (H.compile (W.transpose ~n:64 ~iters:1 W.Reshaped))))
+  in
+  let setup = H.mk_setup ~machine_procs:8 ~factor:64 ~heap_words:(1 lsl 20) () in
+  let prog = H.compile (W.transpose ~n:48 ~iters:1 W.Reshaped) in
+  let sim_test =
+    Test.make ~name:"simulate transpose(48) on 8 procs"
+      (Staged.stage (fun () ->
+           ignore (H.run_prog ~setup ~version:W.Reshaped ~nprocs:8 prog)))
+  in
+  let conv_prog = H.compile (W.convolution ~n:48 ~iters:1 ~two_level:true W.Reshaped) in
+  let conv_test =
+    Test.make ~name:"simulate conv2(48) on 8 procs"
+      (Staged.stage (fun () ->
+           ignore (H.run_prog ~setup ~version:W.Reshaped ~nprocs:8 conv_prog)))
+  in
+  let tests = Test.make_grouped ~name:"ddsm" [ compile_test; sim_test; conv_test ] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.fprintf ppf "  %-40s %12.0f ns/run@." name est
+      | _ -> ())
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let chosen = List.filter (fun a -> a <> "--quick") args in
+  let all = [ "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "ablate" ] in
+  let chosen = if chosen = [] || chosen = [ "all" ] then all else chosen in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun exp ->
+      match exp with
+      | "table2" -> table2 ~quick
+      | "fig4" -> fig4 ~quick
+      | "fig5" -> fig5 ~quick
+      | "fig6" -> fig6 ~quick
+      | "fig7" -> fig7 ~quick
+      | "ablate" -> ablate ~quick
+      | "bechamel" -> bechamel ()
+      | other ->
+          Format.fprintf ppf
+            "unknown experiment %s (table2|fig4|fig5|fig6|fig7|bechamel|all)@."
+            other)
+    chosen;
+  Format.fprintf ppf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,187 @@
+(* Workload generators: the paper's three evaluation programs (§8), written
+   in the directive language, parameterized by problem size, iteration count
+   and data-placement version.
+
+   The four versions match §8's experimental setup:
+   - First_touch / Round_robin: no distribution directives; placement comes
+     from the OS policy alone (and from which processor initializes the
+     data: LU initializes in parallel, transpose and convolution serially);
+   - Regular:  c$distribute   (page placement only);
+   - Reshaped: c$distribute_reshape (layout changed, Table 1 addressing). *)
+
+type version = First_touch | Round_robin | Regular | Reshaped
+
+let version_label = function
+  | First_touch -> "first-touch"
+  | Round_robin -> "round-robin"
+  | Regular -> "regular"
+  | Reshaped -> "reshaped"
+
+let policy_of = function
+  | Round_robin -> Ddsm_machine.Pagetable.Round_robin
+  | _ -> Ddsm_machine.Pagetable.First_touch
+
+(* distribution directive line (or nothing) for a given version *)
+let dist_line version spec =
+  match version with
+  | First_touch | Round_robin -> ""
+  | Regular -> Printf.sprintf "c$distribute %s" spec
+  | Reshaped -> Printf.sprintf "c$distribute_reshape %s" spec
+
+(* an affinity clause is only legal when the array is distributed *)
+let affinity version clause =
+  match version with First_touch | Round_robin -> "" | _ -> " " ^ clause
+
+(* ------------------------------------------------------------------ *)
+(* Matrix transpose (§8.2, Figure 5): A(j,i) = B(i,j) with
+   A ( *, block) and B (block, * ); data initialized serially. *)
+
+let transpose ~n ~iters version =
+  Printf.sprintf
+    {|
+      program transp
+      integer n, i, j, it
+      parameter (n = %d)
+      real*8 a(n, n), b(n, n)
+%s
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = i + j * 0.5
+        enddo
+      enddo
+      do it = 1, %d
+c$doacross local(i, j)
+        do i = 1, n
+          do j = 1, n
+            a(j, i) = b(i, j)
+          enddo
+        enddo
+      enddo
+      print *, a(1, 1)
+      end
+|}
+    n
+    (dist_line version "a(*, block), b(block, *)")
+    iters
+
+(* ------------------------------------------------------------------ *)
+(* 2-D convolution (§8.3, Figures 6 and 7): 5-point stencil, serial
+   initialization. One level of parallelism with ( *, block), or two levels
+   with (block, block) and a nest clause. *)
+
+let convolution ~n ~iters ~two_level version =
+  if two_level then
+    Printf.sprintf
+      {|
+      program conv2
+      integer n, i, j, it
+      parameter (n = %d)
+      real*8 a(n, n), b(n, n)
+%s
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = i + 2 * j
+          a(i, j) = 0.0
+        enddo
+      enddo
+      do it = 1, %d
+c$doacross nest(j, i) local(i, j)%s
+        do j = 2, n-1
+          do i = 2, n-1
+            a(i,j) = (b(i-1,j) + b(i,j-1) + b(i,j) + b(i,j+1) + b(i+1,j)) / 5.0
+          enddo
+        enddo
+      enddo
+      print *, a(2, 2)
+      end
+|}
+      n
+      (dist_line version "a(block, block), b(block, block)")
+      iters
+      (affinity version "affinity(j, i) = data(a(i, j))")
+  else
+    Printf.sprintf
+      {|
+      program conv1
+      integer n, i, j, it
+      parameter (n = %d)
+      real*8 a(n, n), b(n, n)
+%s
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = i + 2 * j
+          a(i, j) = 0.0
+        enddo
+      enddo
+      do it = 1, %d
+c$doacross local(i, j)%s
+        do j = 2, n-1
+          do i = 2, n-1
+            a(i,j) = (b(i-1,j) + b(i,j-1) + b(i,j) + b(i,j+1) + b(i+1,j)) / 5.0
+          enddo
+        enddo
+      enddo
+      print *, a(2, 2)
+      end
+|}
+      n
+      (dist_line version "a(*, block), b(*, block)")
+      iters
+      (affinity version "affinity(j) = data(a(2, j))")
+
+(* ------------------------------------------------------------------ *)
+(* LU / SSOR kernel (§8.1, Table 2 and Figure 4): two 4-dimensional arrays
+   u, r of shape (5, n, n, n) distributed ( *, block, block, * ) — the
+   paper's NAS-LU data layout — swept by an SSOR-like stencil update.
+   Data is initialized in parallel (the paper notes this explicitly). *)
+
+let lu ~n ~iters version =
+  Printf.sprintf
+    {|
+      program lu
+      integer n, i, j, k, m, it
+      parameter (n = %d)
+      real*8 u(5, n, n, n), r(5, n, n, n)
+%s
+c$doacross nest(j, i) local(i, j, k, m)%s
+      do j = 1, n
+        do i = 1, n
+          do k = 1, n
+            do m = 1, 5
+              u(m, i, j, k) = m + i * 0.5 + j * 0.25 + k * 0.125
+              r(m, i, j, k) = 0.0
+            enddo
+          enddo
+        enddo
+      enddo
+      do it = 1, %d
+c$doacross nest(j, i) local(i, j, k, m)%s
+        do j = 2, n-1
+          do i = 2, n-1
+            do k = 2, n-1
+              do m = 1, 5
+                r(m,i,j,k) = (u(m,i-1,j,k) + u(m,i+1,j,k) + u(m,i,j-1,k) + u(m,i,j+1,k) + u(m,i,j,k-1) + u(m,i,j,k+1)) / 6.0
+              enddo
+            enddo
+          enddo
+        enddo
+c$doacross nest(j, i) local(i, j, k, m)%s
+        do j = 2, n-1
+          do i = 2, n-1
+            do k = 2, n-1
+              do m = 1, 5
+                u(m,i,j,k) = u(m,i,j,k) + 0.2 * (r(m,i,j,k) - u(m,i,j,k))
+              enddo
+            enddo
+          enddo
+        enddo
+      enddo
+      print *, u(1, 2, 2, 2)
+      end
+|}
+    n
+    (dist_line version "u(*, block, block, *), r(*, block, block, *)")
+    (affinity version "affinity(j, i) = data(u(1, i, j, 1))")
+    iters
+    (affinity version "affinity(j, i) = data(u(1, i, j, 1))")
+    (affinity version "affinity(j, i) = data(u(1, i, j, 1))")

@@ -1,0 +1,176 @@
+(* pflc — compiler/linker driver for the mini-Fortran data-distribution
+   language. Mirrors the paper's toolchain: per-file compilation emits an
+   object (.pfo) plus a shadow file (.pfs); linking runs the pre-linker,
+   which propagates distribute_reshape directives across files and clones
+   subroutines as needed (§5), then writes a program image (.pfi) for
+   pflrun. *)
+
+open Cmdliner
+module Ddsm = Ddsm_core.Ddsm
+module Flags = Ddsm_core.Ddsm.Flags
+
+let flags_term =
+  let mk tile peel skew hoist cse fp inter no_opt =
+    if no_opt then Flags.all_off
+    else
+      {
+        Flags.tile = not tile;
+        peel = not peel;
+        skew = not skew;
+        hoist = not hoist;
+        cse = not cse;
+        fp_divmod = not fp;
+        interchange = not inter;
+      }
+  in
+  Term.(
+    const mk
+    $ Arg.(value & flag & info [ "no-tile" ] ~doc:"Disable §7.1 tiling.")
+    $ Arg.(value & flag & info [ "no-peel" ] ~doc:"Disable §7.1 peeling.")
+    $ Arg.(value & flag & info [ "no-skew" ] ~doc:"Disable §7.1 loop skewing.")
+    $ Arg.(value & flag & info [ "no-hoist" ] ~doc:"Disable §7.2 hoisting.")
+    $ Arg.(value & flag & info [ "no-cse" ] ~doc:"Disable §7.2 CSE.")
+    $ Arg.(value & flag & info [ "no-fp-divmod" ] ~doc:"Disable §7.3 FP div/mod.")
+    $ Arg.(value & flag & info [ "no-interchange" ] ~doc:"Disable §7.1.1 interchange.")
+    $ Arg.(value & flag & info [ "O0" ] ~doc:"Disable all reshaped-array optimizations."))
+
+let err_exit es =
+  List.iter (fun e -> Printf.eprintf "%s\n" e) es;
+  exit 1
+
+let compile_cmd =
+  let run flags srcs output =
+    List.iter
+      (fun src ->
+        match Ddsm.compile_path ~flags src with
+        | Error es -> err_exit es
+        | Ok obj ->
+            let out =
+              match output with
+              | Some o when List.length srcs = 1 -> o
+              | _ -> Filename.remove_extension src ^ ".pfo"
+            in
+            Ddsm_linker.Objfile.save obj ~path:out;
+            Printf.printf "%s -> %s (+ %s)\n" src out
+              (Filename.remove_extension out ^ ".pfs"))
+      srcs
+  in
+  let srcs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"SRC.pf" ~doc:"Source files.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Object path.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile sources to objects + shadow files.")
+    Term.(const run $ flags_term $ srcs $ output)
+
+let link_objs paths output verbose =
+  let objs =
+    List.map
+      (fun p ->
+        match Ddsm_linker.Objfile.load ~path:p with
+        | Ok o -> o
+        | Error e -> err_exit [ p ^ ": " ^ e ])
+      paths
+  in
+  match Ddsm_linker.Prelink.link objs with
+  | Error es -> err_exit es
+  | Ok l ->
+      if verbose then begin
+        Printf.printf "program unit: %s\n" l.Ddsm_linker.Prelink.main;
+        Printf.printf "recompilations: %d\n" l.Ddsm_linker.Prelink.recompilations;
+        List.iter
+          (fun (o, c) -> Printf.printf "cloned %s -> %s\n" o c)
+          l.Ddsm_linker.Prelink.clones
+      end;
+      Ddsm.save_image l ~path:output;
+      Printf.printf "linked %d routine(s) -> %s\n"
+        (List.length l.Ddsm_linker.Prelink.routines)
+        output
+
+let link_cmd =
+  let objs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"OBJ.pfo" ~doc:"Objects.")
+  in
+  let output =
+    Arg.(value & opt string "a.pfi" & info [ "o" ] ~docv:"OUT.pfi" ~doc:"Image path.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Report cloning.") in
+  Cmd.v (Cmd.info "link" ~doc:"Pre-link objects (propagating reshape directives) into an image.")
+    Term.(const (fun o out v -> link_objs o out v) $ objs $ output $ verbose)
+
+let build_cmd =
+  let run flags srcs output verbose =
+    let objs =
+      List.map
+        (fun src ->
+          match Ddsm.compile_path ~flags src with
+          | Error es -> err_exit es
+          | Ok obj -> obj)
+        srcs
+    in
+    match Ddsm_linker.Prelink.link objs with
+    | Error es -> err_exit es
+    | Ok l ->
+        if verbose then
+          List.iter
+            (fun (o, c) -> Printf.printf "cloned %s -> %s\n" o c)
+            l.Ddsm_linker.Prelink.clones;
+        Ddsm.save_image l ~path:output;
+        Printf.printf "built %s from %d file(s)\n" output (List.length srcs)
+  in
+  let srcs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"SRC.pf" ~doc:"Sources.")
+  in
+  let output =
+    Arg.(value & opt string "a.pfi" & info [ "o" ] ~docv:"OUT.pfi" ~doc:"Image path.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Report cloning.") in
+  Cmd.v (Cmd.info "build" ~doc:"Compile and link in one step.")
+    Term.(const run $ flags_term $ srcs $ output $ verbose)
+
+let check_cmd =
+  let run srcs =
+    let ok = ref true in
+    List.iter
+      (fun src ->
+        match Ddsm.compile_path src with
+        | Error es ->
+            ok := false;
+            List.iter (fun e -> Printf.eprintf "%s\n" e) es
+        | Ok _ -> Printf.printf "%s: ok\n" src)
+      srcs;
+    if not !ok then exit 1
+  in
+  let srcs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"SRC.pf" ~doc:"Sources.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Parse and semantically check sources (directive legality, §6 compile-time checks) without producing objects.")
+    Term.(const run $ srcs)
+
+let dump_cmd =
+  let run flags src =
+    match Ddsm.compile_path ~flags src with
+    | Error es -> err_exit es
+    | Ok obj ->
+        List.iter
+          (fun (u : Ddsm_linker.Objfile.unit_) ->
+            Format.printf "%a@.@." Ddsm_ir.Decl.pp_routine u.Ddsm_linker.Objfile.lowered)
+          obj.Ddsm_linker.Objfile.units;
+        print_string (Ddsm_linker.Shadow.to_string obj.Ddsm_linker.Objfile.shadow)
+  in
+  let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SRC.pf") in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print the lowered intermediate code and shadow entries.")
+    Term.(const run $ flags_term $ src)
+
+let () =
+  let info =
+    Cmd.info "pflc" ~version:"1.0"
+      ~doc:"Compiler for the mini-Fortran data-distribution language (PLDI'97 reproduction)."
+  in
+    exit
+    (Cmd.eval
+       (Cmd.group info [ compile_cmd; link_cmd; build_cmd; check_cmd; dump_cmd ]))

@@ -1,0 +1,97 @@
+(* pflrun — run a linked program image on the simulated CC-NUMA machine.
+
+   The processor count, page-placement policy and machine scale are chosen
+   here at start-up, exactly as in the paper ("the number of processors in
+   each distributed dimension is determined at program start-up time, which
+   enables the same executable to run with different number of
+   processors"). *)
+
+open Cmdliner
+module Ddsm = Ddsm_core.Ddsm
+module Pagetable = Ddsm_machine.Pagetable
+
+let policy_conv =
+  let parse = function
+    | "first-touch" | "ft" -> Ok Pagetable.First_touch
+    | "round-robin" | "rr" -> Ok Pagetable.Round_robin
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S (first-touch|round-robin)" s))
+  in
+  let print ppf = function
+    | Pagetable.First_touch -> Format.pp_print_string ppf "first-touch"
+    | Pagetable.Round_robin -> Format.pp_print_string ppf "round-robin"
+  in
+  Arg.conv (parse, print)
+
+let machine_conv =
+  let parse s =
+    if s = "origin" then Ok Ddsm.Origin2000
+    else
+      match Scanf.sscanf_opt s "scaled:%d" (fun f -> f) with
+      | Some f when f >= 1 -> Ok (Ddsm.Scaled f)
+      | _ -> Error (`Msg "machine is 'origin' or 'scaled:<factor>'")
+  in
+  let print ppf = function
+    | Ddsm.Origin2000 -> Format.pp_print_string ppf "origin"
+    | Ddsm.Scaled f -> Format.fprintf ppf "scaled:%d" f
+  in
+  Arg.conv (parse, print)
+
+let run image nprocs policy machine heap_words stats no_checks bounds max_cycles =
+  match Ddsm.load_image ~path:image with
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+  | Ok linked -> (
+      let prog = Ddsm.prog_of_linked linked in
+      let rt = Ddsm.make_rt ~machine ~policy ~heap_words ~nprocs () in
+      match
+        Ddsm.run prog ~rt ~checks:(not no_checks) ~bounds ?max_cycles ()
+      with
+      | Error m ->
+          Printf.eprintf "runtime error: %s\n" m;
+          exit 2
+      | Ok o ->
+          List.iter print_endline o.Ddsm.Engine.prints;
+          Printf.printf "cycles: %d  (procs: %d)\n" o.Ddsm.Engine.cycles nprocs;
+          if stats then
+            Format.printf "%a@."
+              Ddsm_report.Stats.pp
+              (Ddsm_report.Stats.of_counters o.Ddsm.Engine.counters))
+
+let () =
+  let image = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.pfi") in
+  let nprocs =
+    Arg.(value & opt int 8 & info [ "p"; "nprocs" ] ~docv:"N" ~doc:"Simulated processors.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Pagetable.First_touch
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Default page placement: first-touch or round-robin.")
+  in
+  let machine =
+    Arg.(
+      value
+      & opt machine_conv (Ddsm.Scaled 64)
+      & info [ "machine" ] ~docv:"M" ~doc:"Machine preset: origin or scaled:<factor>.")
+  in
+  let heap =
+    Arg.(value & opt int (1 lsl 24) & info [ "heap-words" ] ~doc:"Simulated heap size in 8-byte words.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print hardware-counter statistics.") in
+  let no_checks =
+    Arg.(value & flag & info [ "no-checks" ] ~doc:"Disable the §6 runtime argument checks.")
+  in
+  let bounds = Arg.(value & flag & info [ "bounds" ] ~doc:"Enable subscript bounds checking.") in
+  let max_cycles =
+    Arg.(value & opt (some int) None & info [ "max-cycles" ] ~doc:"Abort after this many cycles.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "pflrun" ~version:"1.0"
+         ~doc:"Run a linked image on the simulated Origin-2000.")
+      Term.(
+        const run $ image $ nprocs $ policy $ machine $ heap $ stats $ no_checks
+        $ bounds $ max_cycles)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adi.ml: Array Ddsm_core Ddsm_report Printf Sys

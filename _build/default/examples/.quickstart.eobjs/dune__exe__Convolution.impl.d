@@ -1,0 +1,1 @@
+examples/convolution.ml: Array Ddsm_core Ddsm_machine List Printf Sys

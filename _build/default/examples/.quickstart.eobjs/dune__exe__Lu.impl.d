@@ -1,0 +1,1 @@
+examples/lu.ml: Array Ddsm_core List Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddsm_core Ddsm_report Format List Printf

@@ -1,0 +1,1 @@
+examples/transpose.ml: Array Ddsm_core Ddsm_machine Ddsm_report List Printf Sys

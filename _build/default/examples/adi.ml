@@ -1,0 +1,86 @@
+(* Dynamic data redistribution (paper §3.3): "useful when an application
+   needs a different distribution on the same array in two distinct phases
+   of the program."
+
+   The classic case is an ADI-style solver: phase 1 sweeps along rows (a
+   column distribution ( *, block ) keeps each sweep local), phase 2 sweeps
+   along columns (a row distribution ( block, * ) would be ideal). With a
+   regular distribution the program can issue c$redistribute between the
+   phases; this example measures the phase-2 sweep with and without the
+   redistribution.
+
+     dune exec examples/adi.exe [n] [nprocs] *)
+
+module Ddsm = Ddsm_core.Ddsm
+module Stats = Ddsm_report.Stats
+
+let source ~n ~iters ~redistribute =
+  Printf.sprintf
+    {|
+      program adi
+      integer n, i, j, it
+      parameter (n = %d)
+      real*8 a(n, n)
+c$distribute a(*, block)
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = i + j
+        enddo
+      enddo
+c     phase 1: sweeps along i (columns local under (*, block))
+      do it = 1, %d
+c$doacross local(i, j) affinity(j) = data(a(1, j))
+        do j = 1, n
+          do i = 2, n
+            a(i, j) = a(i, j) + a(i-1, j) * 0.5
+          enddo
+        enddo
+      enddo
+%s
+c     phase 2: sweeps along j (wants rows local)
+      do it = 1, %d
+c$doacross local(i, j) affinity(i) = data(a(i, 1))
+        do i = 1, n
+          do j = 2, n
+            a(i, j) = a(i, j) + a(i, j-1) * 0.5
+          enddo
+        enddo
+      enddo
+      print *, 'corner:', a(n, n)
+      end
+|}
+    n iters
+    (if redistribute then "c$redistribute a(block, *)" else "")
+    iters
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 256 in
+  let nprocs = try int_of_string Sys.argv.(2) with _ -> 16 in
+  Printf.printf "ADI-style phase change, %dx%d on %d procs\n\n" n n nprocs;
+  let run ~redistribute ~iters =
+    match
+      Ddsm.run_source ~nprocs ~machine_procs:64
+        (source ~n ~iters ~redistribute)
+    with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  (* isolate the steady-state phases by differencing iteration counts *)
+  let cycles ~redistribute =
+    (run ~redistribute ~iters:2).Ddsm.Engine.cycles
+    - (run ~redistribute ~iters:1).Ddsm.Engine.cycles
+  in
+  let without = cycles ~redistribute:false in
+  let with_r = cycles ~redistribute:true in
+  let o = run ~redistribute:true ~iters:1 in
+  Printf.printf "per-iteration cycles without redistribution: %d\n" without;
+  Printf.printf "per-iteration cycles with    redistribution: %d  (%.2fx)\n"
+    with_r
+    (float_of_int without /. float_of_int with_r);
+  let st = Stats.of_counters o.Ddsm.Engine.counters in
+  Printf.printf
+    "\nAfter c$redistribute a(block, *), phase 2's sweeps run on local rows\n\
+     (local fills with redistribution: %.0f%%). Note the affinity clauses\n\
+     compile to kind-generic schedules because the distribution of a\n\
+     redistributable array is only known at run time.\n"
+    (100.0 *. st.Stats.local_fill_fraction)

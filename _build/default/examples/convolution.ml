@@ -1,0 +1,74 @@
+(* The paper's §8.3 2-D convolution with two levels of parallelism: a
+   (block, block) distribution suffers false sharing at both page and cache
+   -line granularity unless the arrays are reshaped. This example shows the
+   coherence counters (invalidations, upgrades) that reveal it.
+
+     dune exec examples/convolution.exe [n] [nprocs] *)
+
+module Ddsm = Ddsm_core.Ddsm
+module C = Ddsm_machine.Counters
+
+let source ~n ~dist ~affinity =
+  Printf.sprintf
+    {|
+      program conv
+      integer n, i, j
+      parameter (n = %d)
+      real*8 a(n, n), b(n, n)
+%s
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = i + 2 * j
+          a(i, j) = 0.0
+        enddo
+      enddo
+c$doacross nest(j, i) local(i, j)%s
+      do j = 2, n-1
+        do i = 2, n-1
+          a(i,j) = (b(i-1,j) + b(i,j-1) + b(i,j) + b(i,j+1) + b(i+1,j)) / 5.0
+        enddo
+      enddo
+      print *, 'sample:', a(2, 2)
+      end
+|}
+    n dist affinity
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 128 in
+  let nprocs = try int_of_string Sys.argv.(2) with _ -> 48 in
+  Printf.printf
+    "2-D convolution %dx%d, (block,block), 2-level parallelism, %d procs\n\n" n n
+    nprocs;
+  let versions =
+    [
+      ("first-touch", "", "", Ddsm_machine.Pagetable.First_touch);
+      ("round-robin", "", "", Ddsm_machine.Pagetable.Round_robin);
+      ( "regular",
+        "c$distribute a(block, block), b(block, block)",
+        " affinity(j, i) = data(a(i, j))",
+        Ddsm_machine.Pagetable.First_touch );
+      ( "reshaped",
+        "c$distribute_reshape a(block, block), b(block, block)",
+        " affinity(j, i) = data(a(i, j))",
+        Ddsm_machine.Pagetable.First_touch );
+    ]
+  in
+  Printf.printf "%-12s %12s %12s %10s %10s\n" "version" "cycles" "invals"
+    "upgrades" "remote";
+  List.iter
+    (fun (label, dist, aff, policy) ->
+      match
+        Ddsm.run_source ~nprocs ~policy ~machine_procs:64
+          (source ~n ~dist ~affinity:aff)
+      with
+      | Error e -> Printf.printf "%-12s failed: %s\n" label e
+      | Ok o ->
+          let c = o.Ddsm.Engine.counters in
+          Printf.printf "%-12s %12d %12d %10d %10d\n" label o.Ddsm.Engine.cycles
+            c.C.invals_sent c.C.upgrades c.C.remote_fills)
+    versions;
+  print_endline
+    "\nWith two-dimensional blocks the regular distribution's invalidation\n\
+     count betrays 'false sharing over both cache lines and pages'; after\n\
+     reshaping, each portion is contiguous and the coherence traffic drops\n\
+     back to the stencil's true boundary sharing (paper §8.3)."

@@ -1,0 +1,73 @@
+(* The paper's §8.1 LU scenario, Table 2 angle: how much does reshaped-array
+   addressing cost, and how much of it do the compiler optimizations win
+   back? Runs the same SSOR-style kernel on one processor at each
+   optimization level, plus the original (non-reshaped) code.
+
+     dune exec examples/lu.exe [n] *)
+
+module Ddsm = Ddsm_core.Ddsm
+module Flags = Ddsm_core.Ddsm.Flags
+
+let source ~n ~reshape =
+  Printf.sprintf
+    {|
+      program lu
+      integer n, i, j, k, m
+      parameter (n = %d)
+      real*8 u(5, n, n, n), r(5, n, n, n)
+%s
+      do j = 1, n
+        do i = 1, n
+          do k = 1, n
+            do m = 1, 5
+              u(m, i, j, k) = m + i * 0.5 + j * 0.25 + k * 0.125
+            enddo
+          enddo
+        enddo
+      enddo
+      do j = 2, n-1
+        do i = 2, n-1
+          do k = 2, n-1
+            do m = 1, 5
+              r(m,i,j,k) = (u(m,i-1,j,k) + u(m,i+1,j,k) + u(m,i,j-1,k) + u(m,i,j+1,k) + u(m,i,j,k-1) + u(m,i,j,k+1)) / 6.0
+            enddo
+          enddo
+        enddo
+      enddo
+      print *, 'sample:', r(1, 2, 2, 2)
+      end
+|}
+    n
+    (if reshape then "c$distribute_reshape u(*, block, block, *), r(*, block, block, *)"
+     else "")
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 12 in
+  Printf.printf "LU/SSOR kernel (5,%d,%d,%d) on 1 processor — Table 2 setup\n\n" n n n;
+  let rows =
+    [
+      ("reshape, no optimizations", Flags.all_off, true);
+      ("reshape, tile and peel", Flags.tile_peel, true);
+      ("reshape, tile+peel+hoist+cse", Flags.tile_peel_hoist, true);
+      ("reshape, all optimizations", Flags.all_on, true);
+      ("original (no reshaping)", Flags.all_on, false);
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, flags, reshape) ->
+        match Ddsm.run_source ~flags ~nprocs:1 ~machine_procs:8 (source ~n ~reshape) with
+        | Ok o -> (label, o.Ddsm.Engine.cycles)
+        | Error e -> failwith (label ^ ": " ^ e))
+      rows
+  in
+  let base = snd (List.nth results (List.length results - 1)) in
+  Printf.printf "%-32s %14s %10s\n" "configuration" "cycles" "vs orig";
+  List.iter
+    (fun (label, cycles) ->
+      Printf.printf "%-32s %14d %9.2fx\n" label cycles
+        (float_of_int cycles /. float_of_int base))
+    results;
+  print_endline
+    "\n'Most importantly, the final version of the code ran nearly as\n\
+     efficiently as the original code without reshaping.' (paper §8.1)"

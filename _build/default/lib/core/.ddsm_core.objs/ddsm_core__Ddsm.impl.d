@@ -1,0 +1,1 @@
+lib/core/ddsm.ml: Ddsm_exec Ddsm_frontend Ddsm_linker Ddsm_machine Ddsm_runtime Ddsm_transform List Marshal String

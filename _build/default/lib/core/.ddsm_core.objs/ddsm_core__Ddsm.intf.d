@@ -1,0 +1,1 @@
+lib/core/ddsm.mli: Ddsm_exec Ddsm_ir Ddsm_linker Ddsm_machine Ddsm_runtime Ddsm_transform Decl

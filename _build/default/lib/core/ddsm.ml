@@ -1,0 +1,75 @@
+module Flags = Ddsm_transform.Flags
+module Engine = Ddsm_exec.Engine
+module Prog = Ddsm_exec.Prog
+module Objfile = Ddsm_linker.Objfile
+module Prelink = Ddsm_linker.Prelink
+module Config = Ddsm_machine.Config
+module Pagetable = Ddsm_machine.Pagetable
+module Rt = Ddsm_runtime.Rt
+
+type machine = Origin2000 | Scaled of int
+
+let parse ~fname src = Ddsm_frontend.Parser.parse_file ~fname src
+
+let compile_source ?flags ~fname src =
+  match parse ~fname src with
+  | Error e -> Error [ e ]
+  | Ok f -> Objfile.compile ?flags f
+
+let compile_path ?flags path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    compile_source ?flags ~fname:path src
+  with Sys_error e -> Error [ e ]
+
+let prog_of_linked (l : Prelink.linked) =
+  Prog.create
+    (List.map (fun (n, env, code) -> (n, { Prog.env; code })) l.Prelink.routines)
+    ~main:l.Prelink.main
+
+let link objs =
+  match Prelink.link objs with
+  | Error es -> Error es
+  | Ok l -> Ok (prog_of_linked l, l)
+
+let make_rt ?(machine = Scaled 64) ?(policy = Pagetable.First_touch)
+    ?(heap_words = 1 lsl 24) ?machine_procs ~nprocs () =
+  let hw = match machine_procs with Some m -> max m nprocs | None -> nprocs in
+  let cfg =
+    match machine with
+    | Origin2000 -> Config.origin2000 ~nprocs:hw
+    | Scaled factor -> Config.scaled ~nprocs:hw ~factor ()
+  in
+  Rt.create cfg ~policy ~heap_words ~job_procs:nprocs ()
+
+let run prog ~rt ?checks ?bounds ?max_cycles () =
+  Engine.run prog ~rt ?checks ?bounds ?max_cycles ()
+
+let run_source ?flags ?machine ?policy ?heap_words ?machine_procs
+    ?(nprocs = 8) ?checks ?bounds ?max_cycles src =
+  match compile_source ?flags ~fname:"<source>" src with
+  | Error es -> Error (String.concat "\n" es)
+  | Ok obj -> (
+      match link [ obj ] with
+      | Error es -> Error (String.concat "\n" es)
+      | Ok (prog, _) ->
+          let rt = make_rt ?machine ?policy ?heap_words ?machine_procs ~nprocs () in
+          run prog ~rt ?checks ?bounds ?max_cycles ())
+
+let save_image (l : Prelink.linked) ~path =
+  let oc = open_out_bin path in
+  Marshal.to_channel oc l [];
+  close_out oc
+
+let load_image ~path =
+  try
+    let ic = open_in_bin path in
+    let l : Prelink.linked = Marshal.from_channel ic in
+    close_in ic;
+    Ok l
+  with
+  | Sys_error e -> Error e
+  | Failure e -> Error ("corrupt program image: " ^ e)

@@ -1,0 +1,64 @@
+(** The public facade: the full pipeline from mini-Fortran source with
+    data-distribution directives to execution on the simulated Origin-2000.
+
+    Quickstart:
+    {[
+      let source = "      program hello ... end" in
+      match Ddsm_core.Ddsm.run_source ~nprocs:8 source with
+      | Ok o -> List.iter print_endline o.Ddsm_exec.Engine.prints
+      | Error e -> prerr_endline e
+    ]}
+
+    The stages are individually accessible for separate compilation
+    ({!compile_source} produces object+shadow data, {!link} runs the
+    pre-linker/cloning fixpoint) and for machine-configuration sweeps
+    ({!make_rt} + {!run}). *)
+
+open Ddsm_ir
+module Flags = Ddsm_transform.Flags
+module Engine = Ddsm_exec.Engine
+
+type machine =
+  | Origin2000  (** the paper's full-size parameters (§2) *)
+  | Scaled of int  (** capacities shrunk by the factor (see DESIGN.md) *)
+
+val parse : fname:string -> string -> (Decl.file, string) result
+
+val compile_source :
+  ?flags:Flags.t -> fname:string -> string ->
+  (Ddsm_linker.Objfile.t, string list) result
+
+val compile_path :
+  ?flags:Flags.t -> string -> (Ddsm_linker.Objfile.t, string list) result
+(** Read and compile a [.pf] source file. *)
+
+val link :
+  Ddsm_linker.Objfile.t list ->
+  (Ddsm_exec.Prog.t * Ddsm_linker.Prelink.linked, string list) result
+
+val make_rt :
+  ?machine:machine -> ?policy:Ddsm_machine.Pagetable.policy ->
+  ?heap_words:int -> ?machine_procs:int -> nprocs:int -> unit ->
+  Ddsm_runtime.Rt.t
+(** Defaults: [Scaled 64], first-touch, 16M-word heap. [nprocs] is the
+    job's processor count; [machine_procs] (>= nprocs) sizes the simulated
+    machine itself, so P-processor jobs can run on a larger fixed machine
+    as in the paper's evaluation. *)
+
+val run :
+  Ddsm_exec.Prog.t -> rt:Ddsm_runtime.Rt.t -> ?checks:bool -> ?bounds:bool ->
+  ?max_cycles:int -> unit -> (Engine.outcome, string) result
+
+val run_source :
+  ?flags:Flags.t -> ?machine:machine -> ?policy:Ddsm_machine.Pagetable.policy ->
+  ?heap_words:int -> ?machine_procs:int -> ?nprocs:int -> ?checks:bool ->
+  ?bounds:bool -> ?max_cycles:int -> string -> (Engine.outcome, string) result
+(** One-shot: parse, analyse, lower, link and execute a single source
+    string (default 8 processors). Compile/link diagnostics are joined into
+    the error string. *)
+
+val save_image : Ddsm_linker.Prelink.linked -> path:string -> unit
+val load_image : path:string -> (Ddsm_linker.Prelink.linked, string) result
+(** Linked-program images (the [pflc]/[pflrun] interchange format). *)
+
+val prog_of_linked : Ddsm_linker.Prelink.linked -> Ddsm_exec.Prog.t

@@ -1,0 +1,1 @@
+lib/dist/affinity.ml: Dim_map Format Intmath Kind List Option

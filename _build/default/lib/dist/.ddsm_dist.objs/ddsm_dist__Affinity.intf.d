@@ -1,0 +1,1 @@
+lib/dist/affinity.mli: Dim_map Format

@@ -1,0 +1,1 @@
+lib/dist/dim_map.ml: Format Intmath Kind List Printf

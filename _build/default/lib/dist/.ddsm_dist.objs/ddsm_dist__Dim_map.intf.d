@@ -1,0 +1,1 @@
+lib/dist/dim_map.mli: Format Kind

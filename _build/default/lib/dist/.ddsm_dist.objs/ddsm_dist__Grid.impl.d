@@ -1,0 +1,1 @@
+lib/dist/grid.ml: Array Format Kind List

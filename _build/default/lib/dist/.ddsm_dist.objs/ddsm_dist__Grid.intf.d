@@ -1,0 +1,1 @@
+lib/dist/grid.mli: Format Kind

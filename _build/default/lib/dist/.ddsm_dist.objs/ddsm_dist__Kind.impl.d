@@ -1,0 +1,1 @@
+lib/dist/kind.ml: Format Printf Scanf String

@@ -1,0 +1,1 @@
+lib/dist/kind.mli: Format

@@ -1,0 +1,1 @@
+lib/dist/layout.ml: Array Dim_map Format Grid Kind List

@@ -1,0 +1,1 @@
+lib/dist/layout.mli: Dim_map Format Grid Kind

@@ -1,0 +1,39 @@
+(** Assignment of the machine's processors to the distributed dimensions of an
+    array (the [onto] clause of [c$distribute], paper §3.2).
+
+    "The number of processors in each distributed dimension is determined at
+    program start-up time": [assign] is called by the runtime with the actual
+    processor count, so one executable runs on any machine size. *)
+
+type t = {
+  per_dim : int array;
+      (** processors assigned to each array dimension; 1 on every
+          non-distributed ([*]) dimension. *)
+  total : int;  (** product of [per_dim] *)
+}
+
+val assign : nprocs:int -> kinds:Kind.t array -> onto:int array option -> t
+(** Split [nprocs] across the distributed dimensions of [kinds].
+
+    With [onto = Some w] (one positive weight per *distributed* dimension, in
+    order), processor counts are kept as close as possible to the ratio [w].
+    Without [onto], all weights are 1 (an even split).
+
+    The split is exact — the product of the per-dimension counts equals
+    [nprocs] — obtained by distributing the prime factors of [nprocs]
+    greedily onto the dimension currently furthest below its target ratio.
+    With one distributed dimension this is simply [nprocs].
+
+    Raises [Invalid_argument] on [nprocs < 1], weight counts that do not
+    match the number of distributed dimensions, or non-positive weights.
+    If no dimension is distributed, every count is 1 and [total = 1]. *)
+
+val linear : t -> int array -> int
+(** Linearise an owner tuple (one owner index per array dimension) into a
+    processor number in [0, total). The first dimension varies fastest
+    (column-major, matching the Fortran heritage). *)
+
+val delinear : t -> int -> int array
+(** Inverse of [linear]. *)
+
+val pp : Format.formatter -> t -> unit

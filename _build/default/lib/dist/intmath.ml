@@ -1,0 +1,40 @@
+let fdiv a b =
+  if b <= 0 then invalid_arg "Intmath.fdiv: non-positive divisor";
+  if a >= 0 then a / b else -((-a + b - 1) / b)
+
+let fmod a b = a - (b * fdiv a b)
+let cdiv a b = fdiv (a + b - 1) b
+
+let rec egcd a b =
+  if b = 0 then if a >= 0 then (a, 1, 0) else (-a, -1, 0)
+  else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+
+let gcd a b =
+  let g, _, _ = egcd a b in
+  g
+
+type ap = { start : int; step : int }
+
+let align_up x ~base ~step =
+  if step <= 0 then invalid_arg "Intmath.align_up: non-positive step";
+  if x <= base then base else base + (cdiv (x - base) step * step)
+
+(* Solve { a.start + i*a.step } ∩ { b.start + j*b.step } by CRT. We need
+   x ≡ a.start (mod a.step) and x ≡ b.start (mod b.step); solvable iff
+   gcd divides the difference of the residues. *)
+let ap_intersect a b =
+  if a.step <= 0 || b.step <= 0 then invalid_arg "Intmath.ap_intersect";
+  let g, u, _v = egcd a.step b.step in
+  let diff = b.start - a.start in
+  if diff mod g <> 0 then None
+  else
+    let lcm = a.step / g * b.step in
+    (* x = a.start + a.step * t where t ≡ u * (diff/g) (mod b.step/g) *)
+    let m = b.step / g in
+    let t0 = fmod (u * (diff / g)) m in
+    let x0 = a.start + (a.step * t0) in
+    (* x0 satisfies both congruences; move up to >= max of starts *)
+    let lo = max a.start b.start in
+    Some { start = align_up lo ~base:x0 ~step:lcm; step = lcm }

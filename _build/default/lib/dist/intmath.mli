@@ -1,0 +1,34 @@
+(** Integer arithmetic helpers with floor/ceil semantics.
+
+    OCaml's [/] and [mod] truncate toward zero; distribution math needs
+    floor-division behaviour for possibly-negative numerators (e.g. affinity
+    lower-bound computations where [p*b - c] can be negative). *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is floor(a/b). [b] must be positive. *)
+
+val fmod : int -> int -> int
+(** [fmod a b] is [a - b * fdiv a b], always in [0, b-1]. [b] > 0. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is ceil(a/b). [b] must be positive. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b] is [(g, x, y)] with [g = gcd a b] (non-negative) and
+    [a*x + b*y = g]. *)
+
+val gcd : int -> int -> int
+(** Non-negative gcd; [gcd 0 0 = 0]. *)
+
+type ap = { start : int; step : int }
+(** The arithmetic progression [{start + k*step | k >= 0}]. [step] > 0. *)
+
+val ap_intersect : ap -> ap -> ap option
+(** Intersection of two upward-infinite arithmetic progressions, itself an
+    arithmetic progression (or [None] if empty, i.e. the residues are
+    incompatible). The result's [start] is the smallest common element that is
+    [>= max a.start b.start]. *)
+
+val align_up : int -> base:int -> step:int -> int
+(** [align_up x ~base ~step] is the smallest element of the progression
+    [base, base+step, ...] that is [>= x]. [step] > 0. *)

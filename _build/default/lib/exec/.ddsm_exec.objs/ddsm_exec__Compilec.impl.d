@@ -1,0 +1,1 @@
+lib/exec/compilec.ml: Array Costs Ddsm_dist Ddsm_ir Ddsm_runtime Ddsm_sema Decl Eff Effect Expr Float Frame Fun Hashtbl List Option Printf Prog Stmt String Types

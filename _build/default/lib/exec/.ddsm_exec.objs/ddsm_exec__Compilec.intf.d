@@ -1,0 +1,1 @@
+lib/exec/compilec.mli: Ddsm_runtime Eff Frame Prog

@@ -1,0 +1,1 @@
+lib/exec/costs.ml: Ddsm_sema

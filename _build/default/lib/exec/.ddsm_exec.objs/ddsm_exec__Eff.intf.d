@@ -1,0 +1,1 @@
+lib/exec/eff.mli: Effect

@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Array Compilec Ddsm_ir Ddsm_machine Ddsm_runtime Ddsm_sema Decl Eff Effect Frame Hashtbl Heapq List Option Printf Prog Types

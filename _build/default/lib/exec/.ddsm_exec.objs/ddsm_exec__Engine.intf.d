@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Ddsm_machine Ddsm_runtime Prog

@@ -1,0 +1,1 @@
+lib/exec/frame.ml: Array Ddsm_ir Ddsm_runtime

@@ -1,0 +1,1 @@
+lib/exec/frame.mli: Ddsm_ir Ddsm_runtime

@@ -1,0 +1,1 @@
+lib/exec/prog.ml: Ddsm_ir Ddsm_sema Decl Hashtbl List Printf

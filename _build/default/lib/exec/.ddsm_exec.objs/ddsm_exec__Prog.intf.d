@@ -1,0 +1,1 @@
+lib/exec/prog.mli: Ddsm_ir Ddsm_sema Decl Hashtbl

@@ -1,0 +1,927 @@
+open Ddsm_ir
+module Sema = Ddsm_sema.Sema
+module Intrinsics = Ddsm_sema.Intrinsics
+module Darray = Ddsm_runtime.Darray
+module Rt = Ddsm_runtime.Rt
+module Heap = Ddsm_runtime.Heap
+module Argcheck = Ddsm_runtime.Argcheck
+module Layout = Ddsm_dist.Layout
+module Dim_map = Ddsm_dist.Dim_map
+module Grid = Ddsm_dist.Grid
+module K = Ddsm_dist.Kind
+
+exception Return_local
+
+type ctx = { ws : Eff.ws; frame : Frame.t }
+
+type rt_arg = Ai of int | Af of float | Awhole of Frame.abind | Aelem of int * Types.ty
+
+type entry = Eff.ws -> rt_arg list -> unit
+
+type g = {
+  prog : Prog.t;
+  rt : Rt.t;
+  checks : bool;
+  bounds : bool;
+  static_abind : routine:string -> array:string -> Frame.abind option;
+  print : string -> unit;
+  entries : (string, entry) Hashtbl.t;
+  mutable cycle_limit : int;
+}
+
+let create prog ~rt ~checks ~bounds ~static_abind ~print =
+  {
+    prog;
+    rt;
+    checks;
+    bounds;
+    static_abind;
+    print;
+    entries = Hashtbl.create 16;
+    cycle_limit = max_int;
+  }
+
+let set_cycle_limit g n = g.cycle_limit <- n
+
+(* ------------------------------------------------------------------ *)
+(* Per-routine compile environment *)
+
+type slot = SInt of int | SFloat of int
+
+type renv = {
+  g : g;
+  env : Sema.env;
+  rname : string;
+  slots : (string, slot) Hashtbl.t;
+  mutable ni : int;
+  mutable nf : int;
+  aslots : (string, int) Hashtbl.t;
+  mutable na : int;
+}
+
+let sema_scalar_ty renv x =
+  match Sema.find_sym renv.env x with
+  | Some (Sema.SScalar (ty, _)) -> Some ty
+  | Some (Sema.SConst (Expr.Int _)) -> Some Types.Tint
+  | Some (Sema.SConst _) -> Some Types.Treal
+  | _ -> None
+
+let slot_for renv x ~ty =
+  match Hashtbl.find_opt renv.slots x with
+  | Some s -> s
+  | None ->
+      let ty = match sema_scalar_ty renv x with Some t -> t | None -> ty in
+      let s =
+        match ty with
+        | Types.Tint ->
+            let i = renv.ni in
+            renv.ni <- renv.ni + 1;
+            SInt i
+        | Types.Treal ->
+            let i = renv.nf in
+            renv.nf <- renv.nf + 1;
+            SFloat i
+      in
+      Hashtbl.replace renv.slots x s;
+      s
+
+let arr_slot renv a =
+  match Hashtbl.find_opt renv.aslots a with
+  | Some i -> i
+  | None ->
+      let i = renv.na in
+      renv.na <- renv.na + 1;
+      Hashtbl.replace renv.aslots a i;
+      i
+
+let array_elem_ty renv a =
+  match Sema.find_array renv.env a with
+  | Some ai -> ai.Sema.ai_ty
+  | None -> Types.Treal
+
+(* ------------------------------------------------------------------ *)
+(* Expression typing (includes compiler temporaries) *)
+
+let rec ety renv (e : Expr.t) : Types.ty =
+  let promote a b =
+    if a = Types.Treal || b = Types.Treal then Types.Treal else Types.Tint
+  in
+  match e with
+  | Expr.Int _ -> Types.Tint
+  | Expr.Real _ | Expr.Str _ -> Types.Treal
+  | Expr.Var x -> (
+      match Hashtbl.find_opt renv.slots x with
+      | Some (SInt _) -> Types.Tint
+      | Some (SFloat _) -> Types.Treal
+      | None -> (
+          match sema_scalar_ty renv x with
+          | Some ty -> ty
+          | None -> (
+              match Sema.find_sym renv.env x with
+              | Some (Sema.SArray ai) -> ai.Sema.ai_ty
+              | _ -> Types.Tint)))
+  | Expr.Ref (a, _) -> array_elem_ty renv a
+  | Expr.Bin (_, a, b) -> promote (ety renv a) (ety renv b)
+  | Expr.Rel _ | Expr.Log _ | Expr.Not _ -> Types.Tint
+  | Expr.Neg a -> ety renv a
+  | Expr.Intrin (n, args) -> (
+      match Intrinsics.lookup n with
+      | Some { Intrinsics.result = `Int; _ } -> Types.Tint
+      | Some { Intrinsics.result = `Real; _ } -> Types.Treal
+      | Some { Intrinsics.result = `Same; _ } ->
+          List.fold_left (fun acc a -> promote acc (ety renv a)) Types.Tint args
+      | None -> Types.Tint)
+  | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _ -> Types.Tint
+  | Expr.AbsLoad (ty, _) -> ty
+
+(* ------------------------------------------------------------------ *)
+(* Memory helpers (word addresses; the engine converts to bytes) *)
+
+let load_int g (addrf : ctx -> int) ctx =
+  let addr = addrf ctx in
+  Effect.perform (Eff.Mem (ctx.ws, addr, false));
+  Heap.get_int g.rt.Rt.heap addr
+
+let load_real g (addrf : ctx -> int) ctx =
+  let addr = addrf ctx in
+  Effect.perform (Eff.Mem (ctx.ws, addr, false));
+  Heap.get_real g.rt.Rt.heap addr
+
+let meta_addr name (ab : Frame.abind) field =
+  match ab.Frame.ab_darr with
+  | None ->
+      Eff.error "array %s has no distribution descriptor (internal)" name
+  | Some d -> (
+      let mb = Darray.meta_base d in
+      match field with
+      | Expr.Procs dim -> mb + Darray.Meta.procs_off ~dim
+      | Expr.Block dim -> mb + Darray.Meta.block_off ~dim
+      | Expr.Stor dim -> mb + Darray.Meta.stor_off ~dim)
+
+(* cost of an unoptimized reshaped address computation through the runtime
+   oracle (used for element arguments at call sites): per distributed
+   dimension one div and one mod, plus the indirect base load *)
+let oracle_cost (d : Darray.t) =
+  match d.Darray.layout with
+  | None -> Costs.addressing
+  | Some l ->
+      let nd = List.length (List.filter K.is_distributed (Array.to_list l.Layout.kinds)) in
+      (nd * 2 * Costs.int_div) + Costs.addressing + 1
+
+(* Plain add/sub/mul/neg inside an *address* expression is free: real
+   hardware folds base+offset arithmetic into address-generation, and the
+   paper's measured reshaping overhead is exactly the div/mod operations and
+   indirect loads, not the adds (§4.3/§7). *)
+let alu_discount e =
+  let n = ref 0 in
+  Expr.iter
+    (function
+      | Expr.Bin ((Expr.Add | Expr.Sub | Expr.Mul), _, _) | Expr.Neg _ -> incr n
+      | _ -> ())
+    e;
+  !n * Costs.alu
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation: (closure, static cost) *)
+
+let rec compile_i renv (e : Expr.t) : (ctx -> int) * int =
+  if ety renv e = Types.Treal then begin
+    let f, c = compile_f renv e in
+    ((fun ctx -> int_of_float (f ctx)), c + Costs.alu)
+  end
+  else
+    match e with
+    | Expr.Int n -> ((fun _ -> n), 0)
+    | Expr.Var x -> (
+        match slot_for renv x ~ty:Types.Tint with
+        | SInt i -> ((fun ctx -> ctx.frame.Frame.ints.(i)), 0)
+        | SFloat i -> ((fun ctx -> int_of_float ctx.frame.Frame.floats.(i)), Costs.alu))
+    | Expr.Neg a ->
+        let f, c = compile_i renv a in
+        ((fun ctx -> -f ctx), c + Costs.alu)
+    | Expr.Bin (op, a, b) -> (
+        let fa, ca = compile_i renv a and fb, cb = compile_i renv b in
+        let c = ca + cb in
+        match op with
+        | Expr.Add -> ((fun ctx -> fa ctx + fb ctx), c + Costs.alu)
+        | Expr.Sub -> ((fun ctx -> fa ctx - fb ctx), c + Costs.alu)
+        | Expr.Mul -> ((fun ctx -> fa ctx * fb ctx), c + Costs.alu)
+        | Expr.Div ->
+            ( (fun ctx ->
+                let d = fb ctx in
+                if d = 0 then Eff.error "integer division by zero";
+                fa ctx / d),
+              c + Costs.int_div )
+        | Expr.Pow ->
+            ( (fun ctx ->
+                let base = fa ctx and e = fb ctx in
+                if e < 0 then Eff.error "negative integer exponent";
+                let rec pw acc n = if n = 0 then acc else pw (acc * base) (n - 1) in
+                pw 1 e),
+              c + Costs.pow ))
+    | Expr.Rel (op, a, b) ->
+        let cmpf, c =
+          if ety renv a = Types.Treal || ety renv b = Types.Treal then begin
+            let fa, ca = compile_f renv a and fb, cb = compile_f renv b in
+            let cmp : float -> float -> bool =
+              match op with
+              | Expr.Lt -> ( < )
+              | Expr.Le -> ( <= )
+              | Expr.Gt -> ( > )
+              | Expr.Ge -> ( >= )
+              | Expr.Eq -> ( = )
+              | Expr.Ne -> ( <> )
+            in
+            ((fun ctx -> cmp (fa ctx) (fb ctx)), ca + cb)
+          end
+          else begin
+            let fa, ca = compile_i renv a and fb, cb = compile_i renv b in
+            let cmp : int -> int -> bool =
+              match op with
+              | Expr.Lt -> ( < )
+              | Expr.Le -> ( <= )
+              | Expr.Gt -> ( > )
+              | Expr.Ge -> ( >= )
+              | Expr.Eq -> ( = )
+              | Expr.Ne -> ( <> )
+            in
+            ((fun ctx -> cmp (fa ctx) (fb ctx)), ca + cb)
+          end
+        in
+        ((fun ctx -> if cmpf ctx then 1 else 0), c + Costs.alu)
+    | Expr.Log (op, a, b) ->
+        let fa, ca = compile_i renv a and fb, cb = compile_i renv b in
+        let f =
+          match op with
+          | Expr.And -> fun ctx -> if fa ctx <> 0 && fb ctx <> 0 then 1 else 0
+          | Expr.Or -> fun ctx -> if fa ctx <> 0 || fb ctx <> 0 then 1 else 0
+        in
+        (f, ca + cb + Costs.alu)
+    | Expr.Not a ->
+        let f, c = compile_i renv a in
+        ((fun ctx -> if f ctx = 0 then 1 else 0), c + Costs.alu)
+    | Expr.Idiv (impl, a, b) ->
+        let fa, ca = compile_i renv a and fb, cb = compile_i renv b in
+        let cost = (match impl with Expr.Hw -> Costs.int_div | Expr.Fp -> Costs.fp_div) in
+        ( (fun ctx ->
+            let d = fb ctx in
+            if d <= 0 then Eff.error "idiv by non-positive value";
+            Ddsm_dist.Intmath.fdiv (fa ctx) d),
+          ca + cb + cost )
+    | Expr.Imod (impl, a, b) ->
+        let fa, ca = compile_i renv a and fb, cb = compile_i renv b in
+        let cost = (match impl with Expr.Hw -> Costs.int_div | Expr.Fp -> Costs.fp_div) in
+        ( (fun ctx ->
+            let d = fb ctx in
+            if d <= 0 then Eff.error "imod by non-positive value";
+            Ddsm_dist.Intmath.fmod (fa ctx) d),
+          ca + cb + cost )
+    | Expr.Meta (name, field) ->
+        let aslot = arr_slot renv name in
+        ( load_int renv.g (fun ctx ->
+              meta_addr name ctx.frame.Frame.arrays.(aslot) field),
+          0 )
+    | Expr.BaseOf (name, p) ->
+        let aslot = arr_slot renv name in
+        let fp, cp = compile_i renv p in
+        ( load_int renv.g (fun ctx ->
+              let ab = ctx.frame.Frame.arrays.(aslot) in
+              match ab.Frame.ab_darr with
+              | None -> Eff.error "array %s has no descriptor (BaseOf)" name
+              | Some d ->
+                  let nd = Array.length d.Darray.extents in
+                  Darray.meta_base d + Darray.Meta.bases_off ~ndims:nd + fp ctx),
+          cp + Costs.addressing )
+    | Expr.AbsLoad (Types.Tint, a) ->
+        let fa, ca = compile_i renv a in
+        (load_int renv.g fa, max 0 (ca - alu_discount a) + Costs.addressing)
+    | Expr.Ref (a, subs) ->
+        let addrf, c = ref_addr renv a subs in
+        (load_int renv.g addrf, c)
+    | Expr.Intrin (nm, args) -> compile_intrin_i renv nm args
+    | Expr.Real _ | Expr.Str _ | Expr.AbsLoad (Types.Treal, _) ->
+        assert false (* handled by the Treal fast path above *)
+
+and compile_f renv (e : Expr.t) : (ctx -> float) * int =
+  match e with
+  | Expr.Real x -> ((fun _ -> x), 0)
+  | Expr.Var x when ety renv e = Types.Treal -> (
+      match slot_for renv x ~ty:Types.Treal with
+      | SFloat i -> ((fun ctx -> ctx.frame.Frame.floats.(i)), 0)
+      | SInt i -> ((fun ctx -> float_of_int ctx.frame.Frame.ints.(i)), Costs.alu))
+  | Expr.Neg a when ety renv e = Types.Treal ->
+      let f, c = compile_f renv a in
+      ((fun ctx -> -.f ctx), c + Costs.alu)
+  | Expr.Bin (op, a, b) when ety renv e = Types.Treal -> (
+      let fa, ca = compile_f renv a and fb, cb = compile_f renv b in
+      let c = ca + cb in
+      match op with
+      | Expr.Add -> ((fun ctx -> fa ctx +. fb ctx), c + Costs.alu)
+      | Expr.Sub -> ((fun ctx -> fa ctx -. fb ctx), c + Costs.alu)
+      | Expr.Mul -> ((fun ctx -> fa ctx *. fb ctx), c + Costs.alu)
+      | Expr.Div -> ((fun ctx -> fa ctx /. fb ctx), c + Costs.real_div)
+      | Expr.Pow -> ((fun ctx -> Float.pow (fa ctx) (fb ctx)), c + Costs.pow))
+  | Expr.Ref (a, subs) when array_elem_ty renv a = Types.Treal ->
+      let addrf, c = ref_addr renv a subs in
+      (load_real renv.g addrf, c)
+  | Expr.AbsLoad (Types.Treal, a) ->
+      let fa, ca = compile_i renv a in
+      (load_real renv.g fa, max 0 (ca - alu_discount a) + Costs.addressing)
+  | Expr.Intrin (nm, args) when ety renv e = Types.Treal ->
+      compile_intrin_f renv nm args
+  | _ ->
+      (* integer-typed expression promoted to real *)
+      let f, c = compile_i renv e in
+      ((fun ctx -> float_of_int (f ctx)), c + Costs.alu)
+
+(* column-major address of an array reference through its runtime binding;
+   reshaped descriptors fall back to the runtime oracle (call-argument
+   subscript positions and defensive paths) *)
+and ref_addr renv a subs : (ctx -> int) * int =
+  let aslot = arr_slot renv a in
+  let subfs = Array.of_list (List.map (fun s -> fst (compile_i renv s)) subs) in
+  let subcost =
+    List.fold_left
+      (fun acc s -> acc + max 0 (snd (compile_i renv s) - alu_discount s))
+      0 subs
+  in
+  let nd = Array.length subfs in
+  let bounds = renv.g.bounds in
+  let f ctx =
+    let ab = ctx.frame.Frame.arrays.(aslot) in
+    match ab.Frame.ab_darr with
+    | Some d when d.Darray.reshaped ->
+        (* runtime oracle with the unoptimized Table 1 cost *)
+        let idx = Array.init nd (fun i -> subfs.(i) ctx) in
+        ctx.ws.Eff.clock <- ctx.ws.Eff.clock + oracle_cost d;
+        (try Darray.word_addr d idx
+         with Invalid_argument m -> Eff.error "%s" m)
+    | _ ->
+        let addr = ref ab.Frame.ab_base in
+        for i = 0 to nd - 1 do
+          let x = subfs.(i) ctx - ab.Frame.ab_lowers.(i) in
+          if bounds && (x < 0 || x >= ab.Frame.ab_extents.(i)) then
+            Eff.error "array %s: subscript %d out of bounds in dim %d" a
+              (subfs.(i) ctx) (i + 1);
+          addr := !addr + (x * ab.Frame.ab_strides.(i))
+        done;
+        !addr
+  in
+  (f, subcost + Costs.addressing)
+
+and compile_intrin_i renv nm args : (ctx -> int) * int =
+  let cost = Costs.intrinsic nm in
+  let ints () = List.map (fun a -> fst (compile_i renv a)) args in
+  let argcost = List.fold_left (fun acc a -> acc + snd (compile_i renv a)) 0 args in
+  match nm with
+  | "mod" -> (
+      match ints () with
+      | [ fa; fb ] ->
+          ( (fun ctx ->
+              let d = fb ctx in
+              if d = 0 then Eff.error "mod by zero";
+              fa ctx mod d),
+            argcost + cost )
+      | _ -> Eff.error "mod arity")
+  | "min" ->
+      let fs = ints () in
+      ((fun ctx -> List.fold_left (fun acc f -> min acc (f ctx)) max_int fs), argcost + cost)
+  | "max" ->
+      let fs = ints () in
+      ((fun ctx -> List.fold_left (fun acc f -> max acc (f ctx)) min_int fs), argcost + cost)
+  | "abs" -> (
+      match ints () with
+      | [ f ] -> ((fun ctx -> abs (f ctx)), argcost + cost)
+      | _ -> Eff.error "abs arity")
+  | "int" | "nint" -> (
+      match args with
+      | [ a ] ->
+          let f, c = compile_f renv a in
+          if nm = "int" then ((fun ctx -> int_of_float (f ctx)), c + cost)
+          else ((fun ctx -> int_of_float (Float.round (f ctx))), c + cost)
+      | _ -> Eff.error "%s arity" nm)
+  | "dsm_nprocs" ->
+      let n = Rt.nprocs renv.g.rt in
+      ((fun _ -> n), cost)
+  | "dsm_myproc" -> ((fun ctx -> ctx.ws.Eff.proc), cost)
+  | "dsm_numprocs" | "dsm_chunksize" | "dsm_this_lo" | "dsm_this_hi"
+  | "dsm_owner" | "dsm_distribution" | "dsm_isreshaped" ->
+      compile_dsm renv nm args cost
+  | _ -> Eff.error "unknown integer intrinsic %s" nm
+
+and compile_dsm renv nm args cost : (ctx -> int) * int =
+  let aname, rest =
+    match args with
+    | Expr.Var a :: rest -> (a, rest)
+    | _ -> Eff.error "%s: first argument must name an array" nm
+  in
+  let aslot = arr_slot renv aname in
+  let restf = List.map (fun a -> fst (compile_i renv a)) rest in
+  let layout_of ctx =
+    let ab = ctx.frame.Frame.arrays.(aslot) in
+    match ab.Frame.ab_darr with
+    | Some d -> (
+        match d.Darray.layout with
+        | Some l -> (d, l)
+        | None -> Eff.error "%s: array %s is not distributed" nm aname)
+    | None -> Eff.error "%s: array %s has no descriptor here" nm aname
+  in
+  let f ctx =
+    let d, l = layout_of ctx in
+    match (nm, restf) with
+    | "dsm_numprocs", [ fdim ] -> l.Layout.grid.Grid.per_dim.(fdim ctx - 1)
+    | "dsm_chunksize", [ fdim ] -> l.Layout.dims.(fdim ctx - 1).Dim_map.block
+    | ("dsm_this_lo" | "dsm_this_hi"), [ fdim ] -> (
+        let dim = fdim ctx - 1 in
+        let total = Layout.nprocs l in
+        let p = ctx.ws.Eff.proc mod total in
+        let ow = Grid.delinear l.Layout.grid p in
+        let ranges = Dim_map.portion_ranges l.Layout.dims.(dim) ~proc:ow.(dim) in
+        match ranges with
+        | [] -> 0
+        | (lo, _) :: _ when nm = "dsm_this_lo" -> lo + d.Darray.lower.(dim)
+        | rs ->
+            let _, hi = List.nth rs (List.length rs - 1) in
+            hi + d.Darray.lower.(dim))
+    | "dsm_owner", [ fdim; fidx ] ->
+        let dim = fdim ctx - 1 in
+        Dim_map.owner l.Layout.dims.(dim) (fidx ctx - d.Darray.lower.(dim))
+    | "dsm_distribution", [ fdim ] -> (
+        match l.Layout.kinds.(fdim ctx - 1) with
+        | K.Star -> 0
+        | K.Block -> 1
+        | K.Cyclic -> 2
+        | K.Cyclic_k _ -> 3)
+    | "dsm_isreshaped", [] -> if d.Darray.reshaped then 1 else 0
+    | _ -> Eff.error "%s: bad arguments" nm
+  in
+  (f, cost + List.length restf)
+
+and compile_intrin_f renv nm args : (ctx -> float) * int =
+  let cost = Costs.intrinsic nm in
+  let floats () = List.map (fun a -> fst (compile_f renv a)) args in
+  let argcost = List.fold_left (fun acc a -> acc + snd (compile_f renv a)) 0 args in
+  let unary op =
+    match floats () with
+    | [ f ] -> ((fun ctx -> op (f ctx)), argcost + cost)
+    | _ -> Eff.error "%s arity" nm
+  in
+  match nm with
+  | "sqrt" -> unary sqrt
+  | "exp" -> unary exp
+  | "log" -> unary log
+  | "sin" -> unary sin
+  | "cos" -> unary cos
+  | "abs" -> unary Float.abs
+  | "dble" | "float" -> unary Fun.id
+  | "mod" -> (
+      match floats () with
+      | [ fa; fb ] -> ((fun ctx -> Float.rem (fa ctx) (fb ctx)), argcost + cost)
+      | _ -> Eff.error "mod arity")
+  | "min" ->
+      let fs = floats () in
+      ((fun ctx -> List.fold_left (fun acc f -> Float.min acc (f ctx)) infinity fs), argcost + cost)
+  | "max" ->
+      let fs = floats () in
+      ( (fun ctx -> List.fold_left (fun acc f -> Float.max acc (f ctx)) neg_infinity fs),
+        argcost + cost )
+  | _ ->
+      (* integer-valued intrinsic in a real context *)
+      let f, c = compile_intrin_i renv nm args in
+      ((fun ctx -> float_of_int (f ctx)), c + Costs.alu)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let charge c (ws : Eff.ws) = ws.Eff.clock <- ws.Eff.clock + c
+
+let rec compile_body renv stmts : ctx -> unit =
+  let fs = Array.of_list (List.map (compile_stmt renv) stmts) in
+  fun ctx ->
+    for i = 0 to Array.length fs - 1 do
+      fs.(i) ctx
+    done
+
+and compile_stmt renv (t : Stmt.t) : ctx -> unit =
+  match t.Stmt.s with
+  | Stmt.Assign (Stmt.LVar x, e) -> (
+      let ty =
+        match Hashtbl.find_opt renv.slots x with
+        | Some (SInt _) -> Types.Tint
+        | Some (SFloat _) -> Types.Treal
+        | None -> ( match sema_scalar_ty renv x with Some t -> t | None -> ety renv e)
+      in
+      match slot_for renv x ~ty with
+      | SInt i ->
+          let f, c = compile_i renv e in
+          let c = c + Costs.assign in
+          fun ctx ->
+            charge c ctx.ws;
+            ctx.frame.Frame.ints.(i) <- f ctx
+      | SFloat i ->
+          let f, c = compile_f renv e in
+          let c = c + Costs.assign in
+          fun ctx ->
+            charge c ctx.ws;
+            ctx.frame.Frame.floats.(i) <- f ctx)
+  | Stmt.Assign (Stmt.LRef (a, subs), e) -> (
+      let addrf, ca = ref_addr renv a subs in
+      match array_elem_ty renv a with
+      | Types.Treal ->
+          let f, ce = compile_f renv e in
+          let c = ca + ce + Costs.assign in
+          fun ctx ->
+            charge c ctx.ws;
+            let v = f ctx in
+            let addr = addrf ctx in
+            Effect.perform (Eff.Mem (ctx.ws, addr, true));
+            Heap.set_real renv.g.rt.Rt.heap addr v
+      | Types.Tint ->
+          let f, ce = compile_i renv e in
+          let c = ca + ce + Costs.assign in
+          fun ctx ->
+            charge c ctx.ws;
+            let v = f ctx in
+            let addr = addrf ctx in
+            Effect.perform (Eff.Mem (ctx.ws, addr, true));
+            Heap.set_int renv.g.rt.Rt.heap addr v)
+  | Stmt.AbsStore (ty, aexp, e) -> (
+      let addrf, ca0 = compile_i renv aexp in
+      let ca = max 0 (ca0 - alu_discount aexp) + Costs.addressing in
+      match ty with
+      | Types.Treal ->
+          let f, ce = compile_f renv e in
+          let c = ca + ce + Costs.assign in
+          fun ctx ->
+            charge c ctx.ws;
+            let v = f ctx in
+            let addr = addrf ctx in
+            Effect.perform (Eff.Mem (ctx.ws, addr, true));
+            Heap.set_real renv.g.rt.Rt.heap addr v
+      | Types.Tint ->
+          let f, ce = compile_i renv e in
+          let c = ca + ce + Costs.assign in
+          fun ctx ->
+            charge c ctx.ws;
+            let v = f ctx in
+            let addr = addrf ctx in
+            Effect.perform (Eff.Mem (ctx.ws, addr, true));
+            Heap.set_int renv.g.rt.Rt.heap addr v)
+  | Stmt.Do d -> (
+      let flo, clo = compile_i renv d.Stmt.lo in
+      let fhi, chi = compile_i renv d.Stmt.hi in
+      let fstep, cstep =
+        match d.Stmt.step with
+        | None -> ((fun _ -> 1), 0)
+        | Some s -> compile_i renv s
+      in
+      let head_cost = clo + chi + cstep + Costs.assign in
+      match slot_for renv d.Stmt.var ~ty:Types.Tint with
+      | SFloat _ -> Eff.error "loop variable %s is not an integer" d.Stmt.var
+      | SInt slot ->
+          let body = compile_body renv d.Stmt.body in
+          let g = renv.g in
+          fun ctx ->
+            charge head_cost ctx.ws;
+            let lo = flo ctx and hi = fhi ctx and step = fstep ctx in
+            if step = 0 then Eff.error "do %s: zero step" d.Stmt.var;
+            let ints = ctx.frame.Frame.ints in
+            ints.(slot) <- lo;
+            if step > 0 then
+              while ints.(slot) <= hi do
+                if ctx.ws.Eff.clock > g.cycle_limit then
+                  Eff.error "simulated cycle limit exceeded";
+                charge Costs.loop_iter ctx.ws;
+                body ctx;
+                ints.(slot) <- ints.(slot) + step
+              done
+            else
+              while ints.(slot) >= hi do
+                if ctx.ws.Eff.clock > g.cycle_limit then
+                  Eff.error "simulated cycle limit exceeded";
+                charge Costs.loop_iter ctx.ws;
+                body ctx;
+                ints.(slot) <- ints.(slot) + step
+              done)
+  | Stmt.If (cond, th, el) ->
+      let fc, cc = compile_i renv cond in
+      let fth = compile_body renv th and fel = compile_body renv el in
+      fun ctx ->
+        charge (cc + Costs.alu) ctx.ws;
+        if fc ctx <> 0 then fth ctx else fel ctx
+  | Stmt.Call (name, args) -> compile_call renv name args
+  | Stmt.Doacross _ -> Eff.error "internal: doacross reached the VM unlowered"
+  | Stmt.Redistribute rd ->
+      let kinds = Array.of_list rd.Stmt.rkinds in
+      let onto = Option.map Array.of_list rd.Stmt.ronto in
+      let qname = qualified_array renv rd.Stmt.rarray in
+      let page_words = Rt.page_words renv.g.rt in
+      fun ctx -> (
+        match Rt.redistribute renv.g.rt ~name:qname ~kinds ?onto () with
+        | Ok moved ->
+            charge (moved * Costs.redistribute_per_page ~page_words) ctx.ws
+        | Error m -> Eff.error "%s" m)
+  | Stmt.Continue | Stmt.Barrier -> fun _ -> ()
+  | Stmt.Return -> fun _ -> raise Return_local
+  | Stmt.Print items ->
+      let fs =
+        List.map
+          (fun e ->
+            match e with
+            | Expr.Str s -> fun _ -> s
+            | _ -> (
+                match ety renv e with
+                | Types.Tint ->
+                    let f, _ = compile_i renv e in
+                    fun ctx -> string_of_int (f ctx)
+                | Types.Treal ->
+                    let f, _ = compile_f renv e in
+                    fun ctx -> Printf.sprintf "%.10g" (f ctx)))
+          items
+      in
+      fun ctx ->
+        renv.g.print (String.concat " " (List.map (fun f -> f ctx) fs))
+  | Stmt.Par p ->
+      let (myp_slot, np_slot) =
+        match (slot_for renv "myp$" ~ty:Types.Tint, slot_for renv "np$" ~ty:Types.Tint) with
+        | SInt a, SInt b -> (a, b)
+        | _ -> assert false
+      in
+      let body = compile_body renv p.Stmt.pbody in
+      fun ctx ->
+        if ctx.ws.Eff.depth > 0 then begin
+          (* nested parallelism runs single-worker (documented) *)
+          ctx.frame.Frame.ints.(myp_slot) <- 0;
+          ctx.frame.Frame.ints.(np_slot) <- 1;
+          body ctx
+        end
+        else begin
+          let n = Rt.nprocs renv.g.rt in
+          let parent_frame = ctx.frame in
+          Effect.perform
+            (Eff.Fork
+               ( ctx.ws,
+                 (fun cws p ->
+                   let fr = Frame.copy_scalars parent_frame in
+                   fr.Frame.ints.(myp_slot) <- p;
+                   fr.Frame.ints.(np_slot) <- n;
+                   body { ws = cws; frame = fr }),
+                 n ))
+        end
+
+and qualified_array renv name =
+  match Sema.find_array renv.env name with
+  | Some { Sema.ai_common = Some blk; _ } -> Printf.sprintf "/%s/%s" blk name
+  | _ -> Printf.sprintf "%s/%s" renv.rname name
+
+(* ------------------------------------------------------------------ *)
+(* Calls *)
+
+and compile_call renv name args : ctx -> unit =
+  let g = renv.g in
+  match Prog.find g.prog name with
+  | None -> fun _ -> Eff.error "call to undefined subroutine %s" name
+  | Some callee ->
+      let formals = callee.Prog.env.Sema.routine.Decl.rparams in
+      if List.length formals <> List.length args then
+        Eff.error "call %s: %d arguments for %d formals" name (List.length args)
+          (List.length formals);
+      (* per-argument: evaluator and optional argcheck registration *)
+      let builders =
+        List.map2
+          (fun formal actual ->
+            match Sema.find_sym callee.Prog.env formal with
+            | Some (Sema.SArray _) -> compile_array_arg renv formal actual
+            | Some (Sema.SScalar (ty, _)) -> (
+                match ty with
+                | Types.Tint ->
+                    let f, c = compile_i renv actual in
+                    (((fun ctx -> Ai (f ctx)), c), fun _ -> None)
+                | Types.Treal ->
+                    let f, c = compile_f renv actual in
+                    (((fun ctx -> Af (f ctx)), c), fun _ -> None))
+            | _ ->
+                Eff.error "call %s: formal %s is not declared in the callee"
+                  name formal)
+          formals args
+      in
+      let argfs = List.map (fun ((f, _), _) -> f) builders in
+      let regfs = List.map snd builders in
+      let static_cost =
+        Costs.call + List.fold_left (fun acc ((_, c), _) -> acc + c) 0 builders
+      in
+      fun ctx ->
+        charge static_cost ctx.ws;
+        let argv = List.map (fun f -> f ctx) argfs in
+        let regs =
+          if g.checks then
+            List.filter_map
+              (fun f ->
+                match f ctx with
+                | Some (addr, info) ->
+                    charge Costs.argcheck_register ctx.ws;
+                    Argcheck.register g.rt.Rt.argcheck ~addr info;
+                    Some addr
+                | None -> None)
+              regfs
+          else []
+        in
+        let entry =
+          match Hashtbl.find_opt g.entries name with
+          | Some e -> e
+          | None -> Eff.error "internal: %s not compiled" name
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun addr -> Argcheck.unregister g.rt.Rt.argcheck ~addr) regs)
+          (fun () -> entry ctx.ws argv)
+
+(* array actual argument: whole array (Var) or element (Ref) *)
+and compile_array_arg renv formal actual :
+    ((ctx -> rt_arg) * int) * (ctx -> (int * Argcheck.info) option) =
+  ignore formal;
+  match actual with
+  | Expr.Var a ->
+      let aslot = arr_slot renv a in
+      let evalf ctx = Awhole ctx.frame.Frame.arrays.(aslot) in
+      let regf ctx =
+        let ab = ctx.frame.Frame.arrays.(aslot) in
+        match ab.Frame.ab_darr with
+        | Some d when d.Darray.reshaped -> (
+            match d.Darray.layout with
+            | Some l ->
+                Some
+                  ( ab.Frame.ab_base,
+                    Argcheck.Whole_array
+                      { extents = d.Darray.extents; kinds = l.Layout.kinds } )
+            | None -> None)
+        | _ -> None
+      in
+      ((evalf, Costs.alu), regf)
+  | Expr.Ref (a, subs) ->
+      let addrf, ca = ref_addr renv a subs in
+      let ty = array_elem_ty renv a in
+      let aslot = arr_slot renv a in
+      let idxfs = Array.of_list (List.map (fun s -> fst (compile_i renv s)) subs) in
+      let evalf ctx = Aelem (addrf ctx, ty) in
+      let regf ctx =
+        let ab = ctx.frame.Frame.arrays.(aslot) in
+        match ab.Frame.ab_darr with
+        | Some d when d.Darray.reshaped ->
+            let addr = addrf ctx in
+            let idx = Array.map (fun f -> f ctx) idxfs in
+            Some (addr, Argcheck.Portion { words = Darray.portion_run d idx })
+        | _ -> None
+      in
+      ((evalf, ca), regf)
+  | _ -> Eff.error "array argument must be an array name or an array element"
+
+(* ------------------------------------------------------------------ *)
+(* Routine entries *)
+
+let compile_routine g (name : string) (pr : Prog.routine) : entry =
+  let renv =
+    {
+      g;
+      env = pr.Prog.env;
+      rname = name;
+      slots = Hashtbl.create 32;
+      ni = 0;
+      nf = 0;
+      aslots = Hashtbl.create 8;
+      na = 0;
+    }
+  in
+  let r = pr.Prog.env.Sema.routine in
+  (* pre-create slots for declared scalars so types are right *)
+  List.iter
+    (fun (v : Decl.vdecl) ->
+      if v.Decl.vdims = [] then ignore (slot_for renv v.Decl.vname ~ty:v.Decl.vty)
+      else ignore (arr_slot renv v.Decl.vname))
+    r.Decl.rdecls;
+  let bodyc = compile_body renv pr.Prog.code.Decl.rbody in
+  (* formal binding plan *)
+  let formal_plan =
+    List.map
+      (fun p ->
+        match Sema.find_sym pr.Prog.env p with
+        | Some (Sema.SArray ai) ->
+            (* dim expressions may reference formal scalars (adjustable) *)
+            let dimfs =
+              List.map2
+                (fun lo hi ->
+                  (fst (compile_i renv lo), fst (compile_i renv hi)))
+                ai.Sema.ai_los ai.Sema.ai_his
+            in
+            let kinds =
+              Option.map
+                (fun (d : Decl.dist) -> Array.of_list d.Decl.dkinds)
+                ai.Sema.ai_dist
+            in
+            `Array (p, arr_slot renv p, ai.Sema.ai_ty, dimfs, kinds)
+        | Some (Sema.SScalar (ty, _)) -> `Scalar (p, slot_for renv p ~ty, ty)
+        | _ -> Eff.error "routine %s: formal %s undeclared" name p)
+      r.Decl.rparams
+  in
+  (* static template for non-formal arrays *)
+  let formals_set = r.Decl.rparams in
+  let template = Array.make (max 1 renv.na) Frame.dummy_abind in
+  Hashtbl.iter
+    (fun aname slot ->
+      if not (List.mem aname formals_set) then
+        match g.static_abind ~routine:name ~array:aname with
+        | Some ab -> template.(slot) <- ab
+        | None -> ())
+    renv.aslots;
+  let n_arr = max 1 renv.na in
+  fun ws argv ->
+    ignore n_arr;
+    let frame =
+      Frame.create ~n_int:renv.ni ~n_float:renv.nf ~arrays:(Array.copy template)
+    in
+    let ctx = { ws; frame } in
+    (* bind scalars first (adjustable array dims may need them) *)
+    List.iter2
+      (fun plan arg ->
+        match (plan, arg) with
+        | `Scalar (_, SInt i, _), Ai v -> frame.Frame.ints.(i) <- v
+        | `Scalar (_, SInt i, _), Af v -> frame.Frame.ints.(i) <- int_of_float v
+        | `Scalar (_, SFloat i, _), Af v -> frame.Frame.floats.(i) <- v
+        | `Scalar (_, SFloat i, _), Ai v -> frame.Frame.floats.(i) <- float_of_int v
+        | `Scalar (p, _, _), _ -> Eff.error "%s: argument %s: scalar expected" name p
+        | `Array _, _ -> ())
+      formal_plan argv;
+    (* then bind arrays *)
+    List.iter2
+      (fun plan arg ->
+        match plan with
+        | `Scalar _ -> ()
+        | `Array (p, aslot, fty, dimfs, kinds) -> (
+            let lowers = Array.of_list (List.map (fun (lo, _) -> lo ctx) dimfs) in
+            let his = Array.of_list (List.map (fun (_, hi) -> hi ctx) dimfs) in
+            let extents = Array.map2 (fun h l -> h - l + 1) his lowers in
+            let strides =
+              let st = Array.make (Array.length extents) 1 in
+              for i = 1 to Array.length extents - 1 do
+                st.(i) <- st.(i - 1) * extents.(i - 1)
+              done;
+              st
+            in
+            match arg with
+            | Awhole ab ->
+                let ab' =
+                  match ab.Frame.ab_darr with
+                  | Some d when d.Darray.reshaped ->
+                      (* reshaped whole-array pass: keep the descriptor *)
+                      ab
+                  | _ ->
+                      {
+                        ab with
+                        Frame.ab_lowers = lowers;
+                        ab_strides = strides;
+                        ab_extents = extents;
+                        ab_ty = fty;
+                      }
+                in
+                frame.Frame.arrays.(aslot) <- ab';
+                if g.checks then begin
+                  charge Costs.argcheck_lookup ws;
+                  match
+                    Argcheck.check_entry g.rt.Rt.argcheck ~addr:ab'.Frame.ab_base
+                      ~name:p ~formal_extents:extents ?formal_kinds:kinds ()
+                  with
+                  | Ok () -> ()
+                  | Error m -> Eff.error "%s" m
+                end
+            | Aelem (addr, _aty) ->
+                frame.Frame.arrays.(aslot) <-
+                  {
+                    Frame.ab_darr = None;
+                    ab_base = addr;
+                    ab_lowers = lowers;
+                    ab_strides = strides;
+                    ab_extents = extents;
+                    ab_ty = fty;
+                  };
+                if g.checks then begin
+                  charge Costs.argcheck_lookup ws;
+                  match
+                    Argcheck.check_entry g.rt.Rt.argcheck ~addr ~name:p
+                      ~formal_extents:extents ?formal_kinds:kinds ()
+                  with
+                  | Ok () -> ()
+                  | Error m -> Eff.error "%s" m
+                end
+            | Ai _ | Af _ ->
+                Eff.error "%s: argument %s: array expected" name p))
+      formal_plan argv;
+    try bodyc ctx with Return_local -> ()
+
+let compile_all g =
+  Prog.iter g.prog (fun name pr ->
+      Hashtbl.replace g.entries name (compile_routine g name pr))
+
+let run_main g ws =
+  match Hashtbl.find_opt g.entries g.prog.Prog.main with
+  | Some entry -> entry ws []
+  | None -> Eff.error "main routine %s not compiled" g.prog.Prog.main

@@ -1,0 +1,16 @@
+let int_div = 35
+let fp_div = 11
+let real_div = 23
+let alu = 1
+let pow = 10
+let addressing = 1
+let assign = 1
+let loop_iter = 2
+let call = 12
+let argcheck_register = 40
+let argcheck_lookup = 25
+
+(* moving one page: read + write each cache line through memory *)
+let redistribute_per_page ~page_words = page_words / 4
+
+let intrinsic = Ddsm_sema.Intrinsics.cycles

@@ -1,0 +1,39 @@
+(** Instruction cost model (cycles), following the paper's R10000 numbers:
+    a 32-bit integer divide is "about 35 cycles ... and is not pipelined";
+    "the corresponding floating-point operation takes 11 cycles" (§7.3).
+    Memory-access latencies come from the machine simulator, not from
+    here. *)
+
+(** 35 — hardware integer divide or modulo *)
+val int_div : int
+
+(** 11 — the §7.3 software (FPU-assisted) div/mod *)
+val fp_div : int
+
+(** floating-point division in user code *)
+val real_div : int
+
+(** add/sub/mul/compare/logical *)
+val alu : int
+
+val pow : int
+
+(** base+offset address generation for an array ref *)
+val addressing : int
+
+val assign : int
+
+(** per-iteration increment+test overhead *)
+val loop_iter : int
+
+(** call/return linkage *)
+val call : int
+
+(** §6 hash-table insert at a call site *)
+val argcheck_register : int
+
+(** §6 hash-table probe at subroutine entry *)
+val argcheck_lookup : int
+
+val redistribute_per_page : page_words:int -> int
+val intrinsic : string -> int

@@ -1,0 +1,9 @@
+type ws = { proc : int; mutable clock : int; depth : int }
+
+type _ Effect.t +=
+  | Mem : ws * int * bool -> unit Effect.t
+  | Fork : ws * (ws -> int -> unit) * int -> unit Effect.t
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt

@@ -1,0 +1,272 @@
+module Sema = Ddsm_sema.Sema
+module Darray = Ddsm_runtime.Darray
+module Rt = Ddsm_runtime.Rt
+module Heap = Ddsm_runtime.Heap
+module Memsys = Ddsm_machine.Memsys
+module Counters = Ddsm_machine.Counters
+open Ddsm_ir
+
+type outcome = {
+  cycles : int;
+  prints : string list;
+  counters : Counters.t;
+  per_proc : Counters.t array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Static storage elaboration *)
+
+let qualified (env : Sema.env) name =
+  match Sema.find_array env name with
+  | Some { Sema.ai_common = Some blk; _ } -> Printf.sprintf "/%s/%s" blk name
+  | _ -> Printf.sprintf "%s/%s" env.Sema.routine.Decl.rname name
+
+let elem_of_ty = function Types.Tint -> Darray.Int | Types.Treal -> Darray.Real
+
+let elaborate prog ~rt =
+  let declare env name (ai : Sema.array_info) =
+    let qname = qualified env name in
+    match Rt.find_array rt qname with
+    | Some existing ->
+        (* a common block member declared by several routines must agree *)
+        let lowers, extents =
+          match ai.Sema.ai_const_shape with
+          | Some s -> s
+          | None -> Eff.error "array %s: non-constant shape" qname
+        in
+        if existing.Darray.extents <> extents || existing.Darray.lower <> lowers
+        then
+          Eff.error
+            "common array %s declared with different shapes in different \
+             routines"
+            qname
+    | None -> (
+        let lowers, extents =
+          match ai.Sema.ai_const_shape with
+          | Some s -> s
+          | None -> Eff.error "array %s: non-constant shape" qname
+        in
+        let elem = elem_of_ty ai.Sema.ai_ty in
+        match ai.Sema.ai_dist with
+        | None ->
+            ignore
+              (Rt.declare_plain rt ~name:qname ~elem ~extents ~lower:lowers ())
+        | Some d ->
+            let kinds = Array.of_list d.Decl.dkinds in
+            let onto = Option.map Array.of_list d.Decl.donto in
+            if d.Decl.dreshape then
+              ignore
+                (Rt.declare_reshaped rt ~name:qname ~elem ~extents ~lower:lowers
+                   ~kinds ?onto ())
+            else
+              ignore
+                (Rt.declare_regular rt ~name:qname ~elem ~extents ~lower:lowers
+                   ~kinds ?onto ()))
+  in
+  Prog.iter prog (fun _ pr ->
+      let env = pr.Prog.env in
+      (* declaration order: equivalence targets after their bases *)
+      let arrays =
+        Hashtbl.fold
+          (fun name sym acc ->
+            match sym with
+            | Sema.SArray ai when not ai.Sema.ai_formal -> (name, ai) :: acc
+            | _ -> acc)
+          env.Sema.syms []
+      in
+      let plain, equivs =
+        List.partition (fun (_, ai) -> ai.Sema.ai_equiv_base = None) arrays
+      in
+      List.iter (fun (n, ai) -> declare env n ai) plain;
+      (* equivalenced arrays share their base's storage: nothing to
+         allocate; binding happens in static_abind *)
+      ignore equivs)
+
+(* static binding for a non-formal array of a routine *)
+let static_abind prog rt ~routine ~array =
+  match Prog.find prog routine with
+  | None -> None
+  | Some pr -> (
+      let env = pr.Prog.env in
+      match Sema.find_array env array with
+      | None | Some { Sema.ai_formal = true; _ } -> None
+      | Some ai -> (
+          let target =
+            match ai.Sema.ai_equiv_base with Some b -> b | None -> array
+          in
+          let qname = qualified env target in
+          match Rt.find_array rt qname with
+          | None -> None
+          | Some d ->
+              let lowers, extents =
+                match ai.Sema.ai_const_shape with
+                | Some s -> s
+                | None -> (d.Darray.lower, d.Darray.extents)
+              in
+              let strides =
+                let st = Array.make (Array.length extents) 1 in
+                for i = 1 to Array.length extents - 1 do
+                  st.(i) <- st.(i - 1) * extents.(i - 1)
+                done;
+                st
+              in
+              let base =
+                match d.Darray.storage with
+                | Darray.Normal { base } -> base
+                | Darray.Reshaped { meta_base; _ } -> meta_base
+              in
+              Some
+                {
+                  Frame.ab_darr =
+                    (if ai.Sema.ai_equiv_base = None then Some d else None);
+                  ab_base = base;
+                  ab_lowers = lowers;
+                  ab_strides = strides;
+                  ab_extents = extents;
+                  ab_ty = ai.Sema.ai_ty;
+                }))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+type task = {
+  tws : Eff.ws;
+  mutable state : tstate;
+  parent : task option;
+  mutable pending : int;
+  mutable maxchild : int;
+  mutable wait_k : (unit, unit) Effect.Deep.continuation option;
+}
+
+and tstate = Start of (unit -> unit) | Ready | Waiting | Done
+
+let run prog ~rt ?(checks = true) ?(bounds = false)
+    ?(max_cycles = max_int / 2) () =
+  let prints = ref [] in
+  try
+    elaborate prog ~rt;
+    let g =
+      Compilec.create prog ~rt ~checks ~bounds
+        ~static_abind:(fun ~routine ~array -> static_abind prog rt ~routine ~array)
+        ~print:(fun s -> prints := s :: !prints)
+    in
+    Compilec.set_cycle_limit g max_cycles;
+    Compilec.compile_all g;
+    let mem = rt.Rt.mem in
+    let heap = Heapq.create () in
+    let failure : exn option ref = ref None in
+    let master_ws = { Eff.proc = 0; clock = 0; depth = 0 } in
+    let push t = Heapq.push heap ~key:t.tws.Eff.clock t in
+    let rec finish t =
+      t.state <- Done;
+      match t.parent with
+      | None -> ()
+      | Some p ->
+          p.pending <- p.pending - 1;
+          p.maxchild <- max p.maxchild t.tws.Eff.clock;
+          if p.pending = 0 then begin
+            p.tws.Eff.clock <- p.maxchild;
+            p.state <- Ready;
+            push p
+          end
+
+    and handler t =
+      {
+        Effect.Deep.retc = (fun () -> finish t);
+        exnc = (fun e -> failure := Some e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Eff.Mem (ws, waddr, write) ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    let lat =
+                      Memsys.access mem ~proc:ws.Eff.proc
+                        ~addr:(Heap.byte_of_word waddr) ~write
+                        ~now:ws.Eff.clock
+                    in
+                    ws.Eff.clock <- ws.Eff.clock + lat;
+                    if ws.Eff.clock > max_cycles then
+                      failure :=
+                        Some (Eff.Runtime_error "simulated cycle limit exceeded")
+                    else begin
+                      t.state <- Ready;
+                      t.wait_k <- Some k;
+                      push t
+                    end)
+            | Eff.Fork (ws, body, n) ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    t.state <- Waiting;
+                    t.wait_k <- Some k;
+                    t.pending <- n;
+                    t.maxchild <- ws.Eff.clock;
+                    for p = n - 1 downto 0 do
+                      let cws =
+                        { Eff.proc = p; clock = ws.Eff.clock; depth = ws.Eff.depth + 1 }
+                      in
+                      let child =
+                        {
+                          tws = cws;
+                          state = Start (fun () -> body cws p);
+                          parent = Some t;
+                          pending = 0;
+                          maxchild = 0;
+                          wait_k = None;
+                        }
+                      in
+                      push child
+                    done)
+            | _ -> None);
+      }
+    in
+    let master =
+      {
+        tws = master_ws;
+        state = Start (fun () -> Compilec.run_main g master_ws);
+        parent = None;
+        pending = 0;
+        maxchild = 0;
+        wait_k = None;
+      }
+    in
+    push master;
+    let steps = ref 0 in
+    let rec loop () =
+      if !failure <> None then ()
+      else
+        match Heapq.pop heap with
+        | None -> ()
+        | Some (_, t) ->
+            incr steps;
+            (match t.state with
+            | Start f ->
+                t.state <- Done;
+                Effect.Deep.match_with f () (handler t)
+            | Ready -> (
+                match t.wait_k with
+                | Some k ->
+                    t.state <- Done;
+                    t.wait_k <- None;
+                    Effect.Deep.continue k ()
+                | None -> ())
+            | Waiting | Done -> ());
+            loop ()
+    in
+    loop ();
+    (match !failure with Some e -> raise e | None -> ());
+    if master.state <> Done then
+      Eff.error "deadlock: program did not run to completion";
+    let per_proc =
+      Array.init (Rt.nprocs rt) (fun p -> Memsys.counters mem ~proc:p)
+    in
+    Ok
+      {
+        cycles = master_ws.Eff.clock;
+        prints = List.rev !prints;
+        counters = Memsys.total_counters mem;
+        per_proc;
+      }
+  with
+  | Eff.Runtime_error m -> Error m
+  | Invalid_argument m | Failure m -> Error ("internal error: " ^ m)

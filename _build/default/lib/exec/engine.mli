@@ -1,0 +1,34 @@
+(** The execution engine: elaborates the program's static storage against
+    the runtime (allocating every declared array, applying distribution
+    directives exactly as the paper's start-up code does), compiles all
+    routines, and then runs the program unit on simulated processor 0.
+
+    Workers are effect-based coroutines scheduled strictly by minimum local
+    clock, so memory-system events (directory transactions, memory-module
+    queueing) happen in global simulated-time order and runs are
+    deterministic. A [Par] region forks one worker per simulated processor
+    and joins at the maximum child clock — the doacross's implicit
+    barrier. *)
+
+type outcome = {
+  cycles : int;  (** program-unit completion time in simulated cycles *)
+  prints : string list;
+  counters : Ddsm_machine.Counters.t;  (** machine-wide totals *)
+  per_proc : Ddsm_machine.Counters.t array;
+}
+
+val run :
+  Prog.t ->
+  rt:Ddsm_runtime.Rt.t ->
+  ?checks:bool ->
+  ?bounds:bool ->
+  ?max_cycles:int ->
+  unit ->
+  (outcome, string) result
+(** [checks] enables the §6 runtime argument checks (default true);
+    [bounds] enables subscript bounds checking on plain array views
+    (default false); [max_cycles] aborts runaway programs. *)
+
+val elaborate : Prog.t -> rt:Ddsm_runtime.Rt.t -> unit
+(** Allocate static storage only (exposed for tests). Raises
+    {!Eff.Runtime_error} on inconsistent common blocks. *)

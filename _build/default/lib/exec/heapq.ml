@@ -1,0 +1,50 @@
+type 'a t = { mutable arr : (int * 'a) array; mutable n : int }
+
+let create () = { arr = [||]; n = 0 }
+let is_empty t = t.n = 0
+let size t = t.n
+
+let grow t item =
+  let cap = Array.length t.arr in
+  if t.n >= cap then begin
+    let arr' = Array.make (max 16 (2 * cap)) item in
+    Array.blit t.arr 0 arr' 0 t.n;
+    t.arr <- arr'
+  end
+
+let push t ~key v =
+  grow t (key, v);
+  t.arr.(t.n) <- (key, v);
+  let i = ref t.n in
+  t.n <- t.n + 1;
+  while !i > 0 && fst t.arr.((!i - 1) / 2) > fst t.arr.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.arr.(p) in
+    t.arr.(p) <- t.arr.(!i);
+    t.arr.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.n <- t.n - 1;
+    t.arr.(0) <- t.arr.(t.n);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.n && fst t.arr.(l) < fst t.arr.(!smallest) then smallest := l;
+      if r < t.n && fst t.arr.(r) < fst t.arr.(!smallest) then smallest := r;
+      if !smallest = !i then continue_ := false
+      else begin
+        let tmp = t.arr.(!smallest) in
+        t.arr.(!smallest) <- t.arr.(!i);
+        t.arr.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    Some top
+  end

@@ -1,0 +1,10 @@
+(** Minimal binary min-heap of (key, payload) pairs, used by the scheduler
+    to pick the runnable simulated processor with the smallest local clock. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> key:int -> 'a -> unit
+val pop : 'a t -> (int * 'a) option
+val is_empty : 'a t -> bool
+val size : 'a t -> int

@@ -1,0 +1,18 @@
+(** Executable program representation: analysed and lowered routines, as
+    produced by the compilation pipeline and the pre-linker. *)
+
+open Ddsm_ir
+
+type routine = {
+  env : Ddsm_sema.Sema.env;  (** post-sema environment (symbols, types) *)
+  code : Decl.routine;  (** lowered, optimized body *)
+}
+
+type t = {
+  routines : (string, routine) Hashtbl.t;
+  main : string;  (** name of the program unit *)
+}
+
+val create : (string * routine) list -> main:string -> t
+val find : t -> string -> routine option
+val iter : t -> (string -> routine -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Buffer Ddsm_ir Expr List Printf String Token

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ddsm_dist Ddsm_ir Decl Expr Format Lexer List Loc Printf Stmt Token Types

@@ -1,0 +1,1 @@
+lib/frontend/token.ml: Ddsm_ir Expr Format

@@ -1,0 +1,219 @@
+open Ddsm_ir
+
+type located = { tok : Token.t; line : int }
+
+exception Lex_error of int * string
+
+let dotted_keywords =
+  [
+    ("lt", Token.TRel Expr.Lt);
+    ("le", Token.TRel Expr.Le);
+    ("gt", Token.TRel Expr.Gt);
+    ("ge", Token.TRel Expr.Ge);
+    ("eq", Token.TRel Expr.Eq);
+    ("ne", Token.TRel Expr.Ne);
+    ("and", Token.TAnd);
+    ("or", Token.TOr);
+    ("not", Token.TNot);
+    ("true", Token.TInt 1);
+    ("false", Token.TInt 0);
+  ]
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_letter c || is_digit c
+
+(* If position i points at '.', try to read a ".kw." operator; returns the
+   token and the position past the trailing dot. *)
+let dotted_at s i =
+  let n = String.length s in
+  if i >= n || s.[i] <> '.' then None
+  else
+    let j = ref (i + 1) in
+    while !j < n && is_letter s.[!j] do
+      incr j
+    done;
+    if !j > i + 1 && !j < n && s.[!j] = '.' then
+      let kw = String.lowercase_ascii (String.sub s (i + 1) (!j - i - 1)) in
+      match List.assoc_opt kw dotted_keywords with
+      | Some tok -> Some (tok, !j + 1)
+      | None -> None
+    else None
+
+let lex_line ~line s acc0 =
+  let n = String.length s in
+  let acc = ref acc0 in
+  let emit tok = acc := { tok; line } :: !acc in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let c = s.[!i] in
+       if c = ' ' || c = '\t' || c = '\r' then incr i
+       else if c = '!' then raise Exit (* trailing comment *)
+       else if is_digit c then begin
+         let j = ref !i in
+         while !j < n && is_digit s.[!j] do
+           incr j
+         done;
+         let is_real = ref false in
+         (* fractional part, unless the '.' starts a dotted operator *)
+         if !j < n && s.[!j] = '.' && dotted_at s !j = None then begin
+           is_real := true;
+           incr j;
+           while !j < n && is_digit s.[!j] do
+             incr j
+           done
+         end;
+         (* exponent: e/d *)
+         if
+           !j < n
+           && (s.[!j] = 'e' || s.[!j] = 'E' || s.[!j] = 'd' || s.[!j] = 'D')
+           && !j + 1 < n
+           && (is_digit s.[!j + 1]
+              || ((s.[!j + 1] = '+' || s.[!j + 1] = '-')
+                 && !j + 2 < n
+                 && is_digit s.[!j + 2]))
+         then begin
+           is_real := true;
+           incr j;
+           if s.[!j] = '+' || s.[!j] = '-' then incr j;
+           while !j < n && is_digit s.[!j] do
+             incr j
+           done
+         end;
+         let text = String.sub s !i (!j - !i) in
+         if !is_real then
+           let text =
+             String.map (fun c -> if c = 'd' || c = 'D' then 'e' else c) text
+           in
+           emit (Token.TReal (float_of_string text))
+         else emit (Token.TInt (int_of_string text));
+         i := !j
+       end
+       else if is_letter c then begin
+         let j = ref !i in
+         while !j < n && is_ident_char s.[!j] do
+           incr j
+         done;
+         emit (Token.TIdent (String.lowercase_ascii (String.sub s !i (!j - !i))));
+         i := !j
+       end
+       else if c = '\'' then begin
+         let buf = Buffer.create 16 in
+         let j = ref (!i + 1) in
+         let closed = ref false in
+         while (not !closed) && !j < n do
+           if s.[!j] = '\'' then
+             if !j + 1 < n && s.[!j + 1] = '\'' then begin
+               Buffer.add_char buf '\'';
+               j := !j + 2
+             end
+             else begin
+               closed := true;
+               incr j
+             end
+           else begin
+             Buffer.add_char buf s.[!j];
+             incr j
+           end
+         done;
+         if not !closed then raise (Lex_error (line, "unterminated string"));
+         emit (Token.TStr (Buffer.contents buf));
+         i := !j
+       end
+       else if c = '.' then begin
+         match dotted_at s !i with
+         | Some (tok, j) ->
+             emit tok;
+             i := j
+         | None -> raise (Lex_error (line, "unexpected '.'"))
+       end
+       else begin
+         let two = if !i + 1 < n then String.sub s !i 2 else "" in
+         match two with
+         | "**" ->
+             emit Token.TPow;
+             i := !i + 2
+         | "<=" ->
+             emit (Token.TRel Expr.Le);
+             i := !i + 2
+         | ">=" ->
+             emit (Token.TRel Expr.Ge);
+             i := !i + 2
+         | "==" ->
+             emit (Token.TRel Expr.Eq);
+             i := !i + 2
+         | "/=" ->
+             emit (Token.TRel Expr.Ne);
+             i := !i + 2
+         | _ -> (
+             incr i;
+             match c with
+             | '+' -> emit Token.TPlus
+             | '-' -> emit Token.TMinus
+             | '*' -> emit Token.TStar
+             | '/' -> emit Token.TSlash
+             | '(' -> emit Token.TLparen
+             | ')' -> emit Token.TRparen
+             | ',' -> emit Token.TComma
+             | '=' -> emit Token.TAssign
+             | ':' -> emit Token.TColon
+             | '<' -> emit (Token.TRel Expr.Lt)
+             | '>' -> emit (Token.TRel Expr.Gt)
+             | _ ->
+                 raise
+                   (Lex_error (line, Printf.sprintf "unexpected character %C" c)))
+       end
+     done
+   with Exit -> ());
+  !acc
+
+let is_comment_line s =
+  let s' = String.trim s in
+  if s' = "" then true
+  else if s'.[0] = '!' then true
+  else
+    (* classic column-1 'c' comment: 'c' or 'C' followed by blank/end, but
+       not the 'c$' directive prefix *)
+    String.length s > 0
+    && (s.[0] = 'c' || s.[0] = 'C')
+    && (String.length s = 1 || s.[1] = ' ' || s.[1] = '\t')
+
+let directive_of_line s =
+  if String.length s >= 2 && (s.[0] = 'c' || s.[0] = 'C') && s.[1] = '$' then begin
+    let rest = String.sub s 2 (String.length s - 2) in
+    let rest = String.trim rest in
+    let j = ref 0 in
+    while !j < String.length rest && is_ident_char rest.[!j] do
+      incr j
+    done;
+    if !j = 0 then None
+    else
+      Some
+        ( String.lowercase_ascii (String.sub rest 0 !j),
+          String.sub rest !j (String.length rest - !j) )
+  end
+  else None
+
+let tokenize ~fname src =
+  let lines = String.split_on_char '\n' src in
+  try
+    let acc = ref [] in
+    List.iteri
+      (fun idx raw ->
+        let line = idx + 1 in
+        match directive_of_line raw with
+        | Some (name, rest) ->
+            acc := { tok = Token.TDirective name; line } :: !acc;
+            acc := lex_line ~line rest !acc;
+            acc := { tok = Token.TNewline; line } :: !acc
+        | None ->
+            if not (is_comment_line raw) then begin
+              let before = !acc in
+              acc := lex_line ~line raw !acc;
+              if !acc != before then
+                acc := { tok = Token.TNewline; line } :: !acc
+            end)
+      lines;
+    Ok (List.rev ({ tok = Token.TEof; line = List.length lines } :: !acc))
+  with Lex_error (line, msg) -> Error (Printf.sprintf "%s:%d: %s" fname line msg)

@@ -1,0 +1,14 @@
+(** Hand-written line-oriented lexer.
+
+    Deviations from fixed-form Fortran 77 (documented in DESIGN.md): source
+    is free-form; comments are lines whose first non-blank character is [c]
+    (followed by a blank) or [!], plus trailing [!] comments; directives are
+    lines starting with [c$] (any case). Identifiers and keywords are
+    case-insensitive and lower-cased. [.lt.]-style and [<]-style relational
+    operators are both accepted. *)
+
+type located = { tok : Token.t; line : int }
+
+val tokenize : fname:string -> string -> (located list, string) result
+(** Produces a token stream with one [TNewline] per non-empty logical line
+    and a final [TEof]. Errors are formatted ["file:line: message"]. *)

@@ -1,0 +1,53 @@
+open Ddsm_ir
+
+type t =
+  | TInt of int
+  | TReal of float
+  | TStr of string
+  | TIdent of string
+  | TPlus
+  | TMinus
+  | TStar
+  | TSlash
+  | TPow
+  | TLparen
+  | TRparen
+  | TComma
+  | TAssign
+  | TColon
+  | TRel of Expr.relop
+  | TAnd
+  | TOr
+  | TNot
+  | TNewline
+  | TDirective of string
+  | TEof
+
+let pp ppf = function
+  | TInt n -> Format.fprintf ppf "%d" n
+  | TReal f -> Format.fprintf ppf "%g" f
+  | TStr s -> Format.fprintf ppf "%S" s
+  | TIdent s -> Format.fprintf ppf "%s" s
+  | TPlus -> Format.pp_print_string ppf "+"
+  | TMinus -> Format.pp_print_string ppf "-"
+  | TStar -> Format.pp_print_string ppf "*"
+  | TSlash -> Format.pp_print_string ppf "/"
+  | TPow -> Format.pp_print_string ppf "**"
+  | TLparen -> Format.pp_print_string ppf "("
+  | TRparen -> Format.pp_print_string ppf ")"
+  | TComma -> Format.pp_print_string ppf ","
+  | TAssign -> Format.pp_print_string ppf "="
+  | TColon -> Format.pp_print_string ppf ":"
+  | TRel r ->
+      Format.pp_print_string ppf
+        (match r with
+        | Expr.Lt -> ".lt." | Expr.Le -> ".le." | Expr.Gt -> ".gt."
+        | Expr.Ge -> ".ge." | Expr.Eq -> ".eq." | Expr.Ne -> ".ne.")
+  | TAnd -> Format.pp_print_string ppf ".and."
+  | TOr -> Format.pp_print_string ppf ".or."
+  | TNot -> Format.pp_print_string ppf ".not."
+  | TNewline -> Format.pp_print_string ppf "<newline>"
+  | TDirective d -> Format.fprintf ppf "c$%s" d
+  | TEof -> Format.pp_print_string ppf "<eof>"
+
+let to_string t = Format.asprintf "%a" pp t

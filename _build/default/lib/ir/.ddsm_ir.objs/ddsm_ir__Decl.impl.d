@@ -1,0 +1,1 @@
+lib/ir/decl.ml: Ddsm_dist Expr Format List Loc Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/decl.mli: Ddsm_dist Expr Format Loc Stmt Types

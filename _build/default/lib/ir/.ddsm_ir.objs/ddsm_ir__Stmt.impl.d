@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Ddsm_dist Expr Format List Loc Option String Types

@@ -1,0 +1,1 @@
+lib/ir/stmt.mli: Ddsm_dist Expr Format Loc Types

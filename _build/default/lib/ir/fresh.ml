@@ -1,0 +1,7 @@
+type t = int ref
+
+let create () = ref 0
+
+let var t hint =
+  incr t;
+  Printf.sprintf "%s$%d" hint !t

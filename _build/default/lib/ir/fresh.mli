@@ -1,0 +1,9 @@
+(** Fresh compiler-temporary names. Temporaries use a [$] suffix character
+    that cannot appear in source identifiers, so they never collide with
+    user variables. *)
+
+type t
+
+val create : unit -> t
+val var : t -> string -> string
+(** [var t hint] returns e.g. ["hint$3"]. *)

@@ -1,0 +1,6 @@
+type t = { file : string; line : int }
+
+let none = { file = "<none>"; line = 0 }
+let v ~file ~line = { file; line }
+let pp ppf t = Format.fprintf ppf "%s:%d" t.file t.line
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,8 @@
+(** Source locations for diagnostics. *)
+
+type t = { file : string; line : int }
+
+val none : t
+val v : file:string -> line:int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,79 @@
+(** Statements: the executable part of the surface language, plus the
+    compiler-internal forms introduced by transformation ([AbsStore],
+    processor-tile loops are ordinary [Do] loops over reserved variables,
+    barriers). *)
+
+type lhs = LVar of string | LRef of string * Expr.t list
+
+type sched = Simple | Interleave of int
+
+type t = { s : kind; loc : Loc.t }
+
+and kind =
+  | Assign of lhs * Expr.t
+  | AbsStore of Types.ty * Expr.t * Expr.t  (** store value at word address *)
+  | Do of do_
+  | If of Expr.t * t list * t list
+  | Call of string * Expr.t list
+  | Doacross of doacross
+  | Redistribute of redist
+  | Continue
+  | Return
+  | Print of Expr.t list
+  | Barrier  (** compiler-internal *)
+  | Par of par
+      (** compiler-internal SPMD region produced by scheduling a
+          [c$doacross]: every processor executes [pbody] with the reserved
+          variables [myp$] (its 0-based id) and [np$] (processor count)
+          bound in a private scalar frame; an implicit barrier follows. *)
+
+and par = { pbody : t list }
+
+and do_ = {
+  var : string;
+  lo : Expr.t;
+  hi : Expr.t;
+  step : Expr.t option;  (** [None] = 1 *)
+  body : t list;
+}
+
+and doacross = {
+  locals : string list;
+  shareds : string list;
+  affinity : aff option;
+  sched : sched;
+  d_onto : int list option;
+  nest_vars : string list;  (** non-empty iff a [nest] clause was given *)
+  loop : do_;
+}
+
+and aff = {
+  avars : string list;  (** loop variables named in [affinity(...)] *)
+  aarray : string;
+  asubs : Expr.t list;  (** subscripts of the [data(A(...))] reference *)
+}
+
+and redist = {
+  rarray : string;
+  rkinds : Ddsm_dist.Kind.t list;
+  ronto : int list option;
+}
+
+val mk : ?loc:Loc.t -> kind -> t
+
+val map_exprs : (Expr.t -> Expr.t) -> t -> t
+(** Rewrite every expression in the statement tree (including loop bounds and
+    subscripts; affinity clauses included). *)
+
+val iter_exprs : (Expr.t -> unit) -> t -> unit
+val map_body : (t list -> t list) -> t -> t
+(** Rewrite the immediate statement lists of structured statements. *)
+
+val assigned_vars : t list -> string list
+(** Scalar variables assigned anywhere in the statements (including loop
+    variables). *)
+
+val arrays_written : t list -> string list
+val calls_made : t list -> string list
+val pp : Format.formatter -> t -> unit
+val pp_body : Format.formatter -> t list -> unit

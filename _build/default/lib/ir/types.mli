@@ -1,0 +1,7 @@
+(** Scalar types of the source language: [integer] and [real*8]. Both occupy
+    one 8-byte word of simulated memory. *)
+
+type ty = Tint | Treal
+
+val equal_ty : ty -> ty -> bool
+val pp_ty : Format.formatter -> ty -> unit

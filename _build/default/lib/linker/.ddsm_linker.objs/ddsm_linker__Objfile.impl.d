@@ -1,0 +1,1 @@
+lib/linker/objfile.ml: Array Ddsm_ir Ddsm_sema Ddsm_transform Decl Expr Filename List Marshal Printf Shadow Sig_ Stmt

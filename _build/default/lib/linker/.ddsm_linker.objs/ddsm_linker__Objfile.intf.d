@@ -1,0 +1,1 @@
+lib/linker/objfile.mli: Ddsm_ir Ddsm_sema Ddsm_transform Decl Expr Shadow Sig_

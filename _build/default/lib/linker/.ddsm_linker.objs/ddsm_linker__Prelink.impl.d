@@ -1,0 +1,1 @@
+lib/linker/prelink.ml: Ddsm_ir Ddsm_sema Decl Hashtbl List Objfile Option Printf Shadow Sig_ Stmt String

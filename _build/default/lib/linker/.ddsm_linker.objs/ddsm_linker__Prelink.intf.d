@@ -1,0 +1,1 @@
+lib/linker/prelink.mli: Ddsm_ir Ddsm_sema Objfile

@@ -1,0 +1,1 @@
+lib/linker/shadow.ml: Buffer List Printf Result Sig_ String

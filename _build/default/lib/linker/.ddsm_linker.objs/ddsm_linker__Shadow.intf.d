@@ -1,0 +1,1 @@
+lib/linker/shadow.mli: Sig_

@@ -1,0 +1,1 @@
+lib/linker/sig_.ml: Ddsm_dist List Option Printf Result Scanf String

@@ -1,0 +1,1 @@
+lib/linker/sig_.mli: Ddsm_dist

@@ -1,0 +1,181 @@
+open Ddsm_ir
+module Sema = Ddsm_sema.Sema
+module Flags = Ddsm_transform.Flags
+module Pipeline = Ddsm_transform.Pipeline
+
+type unit_ = { uname : string; env : Sema.env; lowered : Decl.routine }
+
+type t = {
+  src : Decl.file;
+  flags : Flags.t;
+  units : unit_ list;
+  shadow : Shadow.t;
+}
+
+let call_signature env args =
+  List.map
+    (fun arg ->
+      match arg with
+      | Expr.Var a -> (
+          match Sema.find_array env a with
+          | Some { Sema.ai_dist = Some d; _ } when d.Decl.dreshape ->
+              Some { Sig_.kinds = d.Decl.dkinds; onto = d.Decl.donto }
+          | _ -> None)
+      | _ -> None)
+    args
+
+let rec scan_calls env shadow (stmts : Stmt.t list) =
+  List.iter
+    (fun t ->
+      match t.Stmt.s with
+      | Stmt.Call (n, args) ->
+          let sg = call_signature env args in
+          if not (Sig_.is_trivial sg) then Shadow.add_call shadow n sg
+      | Stmt.Do d -> scan_calls env shadow d.Stmt.body
+      | Stmt.If (_, a, b) ->
+          scan_calls env shadow a;
+          scan_calls env shadow b
+      | Stmt.Doacross da -> scan_calls env shadow da.Stmt.loop.Stmt.body
+      | Stmt.Par p -> scan_calls env shadow p.Stmt.pbody
+      | _ -> ())
+    stmts
+
+let common_members env members =
+  let off = ref 0 in
+  List.map
+    (fun name ->
+      let shape, dist =
+        match Sema.find_array env name with
+        | Some ai ->
+            let shape =
+              match ai.Sema.ai_const_shape with
+              | Some (_, ext) -> Array.to_list ext
+              | None -> []
+            in
+            let dist =
+              match ai.Sema.ai_dist with
+              | Some d when d.Decl.dreshape ->
+                  Some { Sig_.kinds = d.Decl.dkinds; onto = d.Decl.donto }
+              | _ -> None
+            in
+            (shape, dist)
+        | None -> ([ 1 ], None)
+      in
+      let m =
+        {
+          Shadow.cm_name = name;
+          cm_offset = !off;
+          cm_shape = shape;
+          cm_dist = dist;
+        }
+      in
+      off := !off + max 1 (List.fold_left ( * ) 1 shape);
+      m)
+    members
+
+let formal_sig (env : Sema.env) =
+  List.map
+    (fun p ->
+      match Sema.find_array env p with
+      | Some { Sema.ai_dist = Some d; _ } when d.Decl.dreshape ->
+          Some { Sig_.kinds = d.Decl.dkinds; onto = d.Decl.donto }
+      | _ -> None)
+    env.Sema.routine.Decl.rparams
+
+let build_shadow units =
+  let shadow = Shadow.empty () in
+  List.iter
+    (fun u ->
+      Shadow.add_def shadow u.uname (formal_sig u.env);
+      scan_calls u.env shadow u.env.Sema.routine.Decl.rbody;
+      List.iter
+        (fun (blk, members) ->
+          Shadow.add_common shadow ~block:blk ~routine:u.uname
+            (common_members u.env members))
+        u.env.Sema.routine.Decl.rcommons)
+    units;
+  shadow
+
+let compile ?(flags = Flags.all_on) (file : Decl.file) =
+  match Sema.analyse_file file with
+  | Error es -> Error es
+  | Ok envs ->
+      let units =
+        List.map
+          (fun (env : Sema.env) ->
+            {
+              uname = env.Sema.routine.Decl.rname;
+              env;
+              lowered = Pipeline.run flags env;
+            })
+          envs
+      in
+      Ok { src = file; flags; units; shadow = build_shadow units }
+
+let compile_clone t ~original ~clone ~sig_ =
+  match Decl.find_routine t.src original with
+  | None ->
+      Error [ Printf.sprintf "clone request: %s is not defined in %s" original t.src.Decl.fname ]
+  | Some r ->
+      if List.length r.Decl.rparams <> List.length sig_ then
+        Error
+          [
+            Printf.sprintf
+              "clone request for %s: %d signature entries for %d formals"
+              original (List.length sig_)
+              (List.length r.Decl.rparams);
+          ]
+      else begin
+        let new_dists =
+          List.filter_map
+            (fun (p, arg) ->
+              match arg with
+              | None -> None
+              | Some a ->
+                  Some
+                    {
+                      Decl.dtarget = p;
+                      dkinds = a.Sig_.kinds;
+                      donto = a.Sig_.onto;
+                      dreshape = true;
+                      dloc = r.Decl.rloc;
+                    })
+            (List.combine r.Decl.rparams sig_)
+        in
+        let formals = r.Decl.rparams in
+        let keep_dist (d : Decl.dist) = not (List.mem d.Decl.dtarget formals) in
+        let clone_r =
+          {
+            r with
+            Decl.rname = clone;
+            rdists = List.filter keep_dist r.Decl.rdists @ new_dists;
+          }
+        in
+        match Sema.analyse_routine ~allow_formal_dists:true clone_r with
+        | Error es -> Error es
+        | Ok env ->
+            let u = { uname = clone; env; lowered = Pipeline.run t.flags env } in
+            Shadow.add_def t.shadow clone sig_;
+            Shadow.remove_request t.shadow original sig_;
+            Ok u
+      end
+
+let shadow_path path =
+  if Filename.check_suffix path ".pfo" then Filename.chop_suffix path ".pfo" ^ ".pfs"
+  else path ^ ".pfs"
+
+let save t ~path =
+  let oc = open_out_bin path in
+  Marshal.to_channel oc t [];
+  close_out oc;
+  Shadow.save t.shadow ~path:(shadow_path path)
+
+let load ~path =
+  try
+    let ic = open_in_bin path in
+    let t : t = Marshal.from_channel ic in
+    close_in ic;
+    Ok t
+  with
+  | Sys_error e -> Error e
+  | Failure e -> Error ("corrupt object file: " ^ e)

@@ -1,0 +1,135 @@
+type common_member = {
+  cm_name : string;
+  cm_offset : int;
+  cm_shape : int list;
+  cm_dist : Sig_.arg option;
+}
+
+type t = {
+  mutable defs : (string * Sig_.t) list;
+  mutable calls : (string * Sig_.t) list;
+  mutable requests : (string * Sig_.t) list;
+  mutable commons : (string * string * common_member list) list;
+}
+
+let empty () = { defs = []; calls = []; requests = []; commons = [] }
+
+let add_once list entry = if List.mem entry !list then () else list := !list @ [ entry ]
+
+let add_def t n s =
+  let l = ref t.defs in
+  add_once l (n, s);
+  t.defs <- !l
+
+let add_call t n s =
+  let l = ref t.calls in
+  add_once l (n, s);
+  t.calls <- !l
+
+let add_request t n s =
+  let l = ref t.requests in
+  add_once l (n, s);
+  t.requests <- !l
+
+let remove_request t n s =
+  t.requests <- List.filter (fun e -> e <> (n, s)) t.requests
+
+let add_common t ~block ~routine members =
+  t.commons <- t.commons @ [ (block, routine, members) ]
+
+let member_to_string m =
+  Printf.sprintf "%s@%d:%s:%s" m.cm_name m.cm_offset
+    (String.concat "x" (List.map string_of_int m.cm_shape))
+    (match m.cm_dist with
+    | None -> "-"
+    | Some a -> Sig_.to_string [ Some a ])
+
+let member_of_string s =
+  match String.split_on_char ':' s with
+  | [ nameoff; shape; dist ] -> (
+      match String.split_on_char '@' nameoff with
+      | [ name; off ] -> (
+          let shape =
+            if shape = "" then []
+            else List.map int_of_string (String.split_on_char 'x' shape)
+          in
+          match dist with
+          | "-" -> Ok { cm_name = name; cm_offset = int_of_string off; cm_shape = shape; cm_dist = None }
+          | d -> (
+              match Sig_.of_string d with
+              | Ok [ Some a ] ->
+                  Ok
+                    { cm_name = name; cm_offset = int_of_string off; cm_shape = shape; cm_dist = Some a }
+              | Ok _ -> Error ("bad member dist " ^ d)
+              | Error e -> Error e))
+      | _ -> Error ("bad member " ^ s))
+  | _ -> Error ("bad member " ^ s)
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# ddsm shadow file v1\n";
+  List.iter
+    (fun (n, s) -> Buffer.add_string b (Printf.sprintf "def %s %s\n" n (Sig_.to_string s)))
+    t.defs;
+  List.iter
+    (fun (n, s) -> Buffer.add_string b (Printf.sprintf "call %s %s\n" n (Sig_.to_string s)))
+    t.calls;
+  List.iter
+    (fun (n, s) ->
+      Buffer.add_string b (Printf.sprintf "request %s %s\n" n (Sig_.to_string s)))
+    t.requests;
+  List.iter
+    (fun (blk, routine, members) ->
+      Buffer.add_string b
+        (Printf.sprintf "common %s %s %s\n" blk routine
+           (String.concat " " (List.map member_to_string members))))
+    t.commons;
+  Buffer.contents b
+
+let of_string s =
+  let t = empty () in
+  let err = ref None in
+  String.split_on_char '\n' s
+  |> List.iteri (fun lineno line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.split_on_char ' ' line with
+           | "def" :: name :: rest -> (
+               match Sig_.of_string (String.concat " " rest) with
+               | Ok sg -> add_def t name sg
+               | Error e -> if !err = None then err := Some (lineno + 1, e))
+           | "call" :: name :: rest -> (
+               match Sig_.of_string (String.concat " " rest) with
+               | Ok sg -> add_call t name sg
+               | Error e -> if !err = None then err := Some (lineno + 1, e))
+           | "request" :: name :: rest -> (
+               match Sig_.of_string (String.concat " " rest) with
+               | Ok sg -> add_request t name sg
+               | Error e -> if !err = None then err := Some (lineno + 1, e))
+           | "common" :: blk :: routine :: members -> (
+               let ms = List.map member_of_string members in
+               match List.find_opt Result.is_error ms with
+               | Some (Error e) -> if !err = None then err := Some (lineno + 1, e)
+               | _ ->
+                   add_common t ~block:blk ~routine
+                     (List.map Result.get_ok ms))
+           | _ -> if !err = None then err := Some (lineno + 1, "bad shadow line"))
+  |> ignore;
+  match !err with
+  | Some (line, e) -> Error (Printf.sprintf "shadow line %d: %s" line e)
+  | None -> Ok t
+
+let save t ~path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load ~path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s
+  with Sys_error e -> Error e

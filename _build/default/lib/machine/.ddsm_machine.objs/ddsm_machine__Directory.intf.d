@@ -1,0 +1,1 @@
+lib/machine/directory.mli: Bitset

@@ -1,0 +1,1 @@
+lib/machine/memsys.ml: Array Cache Config Counters Directory List Pagetable Tlb Topology

@@ -1,0 +1,1 @@
+lib/machine/memsys.mli: Config Counters Directory Pagetable Topology

@@ -1,0 +1,1 @@
+lib/machine/pagetable.ml: Array Config Hashtbl Option

@@ -1,0 +1,50 @@
+type t = { words : int array; n : int }
+
+let wbits = 62 (* stay clear of the tag bit; any bound < Sys.int_size works *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n + wbits - 1) / wbits) 0; n }
+
+let universe t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: element out of universe"
+
+let add t i =
+  check t i;
+  t.words.(i / wbits) <- t.words.(i / wbits) lor (1 lsl (i mod wbits))
+
+let remove t i =
+  check t i;
+  t.words.(i / wbits) <- t.words.(i / wbits) land lnot (1 lsl (i mod wbits))
+
+let mem t i =
+  check t i;
+  t.words.(i / wbits) land (1 lsl (i mod wbits)) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let copy t = { t with words = Array.copy t.words }
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (List.rev (fold (fun i acc -> i :: acc) t []))

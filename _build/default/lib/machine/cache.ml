@@ -1,0 +1,128 @@
+type iarr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Bigarray metadata keeps per-processor cache state (large at full
+   Origin-2000 scale) out of the GC's marking work. *)
+type t = {
+  line_bytes : int;
+  nsets : int;
+  assoc : int;
+  tags : iarr; (* set*assoc + way -> line id, -1 = invalid *)
+  dirty : Bytes.t;
+  age : iarr; (* LRU stamps *)
+  mutable clock : int;
+  mutable resident : int;
+}
+
+let make_iarr n v =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill a v;
+  a
+
+type evicted = { line : int; dirty : bool }
+
+let create (cfg : Config.cache_cfg) =
+  let nlines = cfg.size_bytes / cfg.line_bytes in
+  let nsets = nlines / cfg.assoc in
+  if nsets < 1 then invalid_arg "Cache.create: degenerate geometry";
+  {
+    line_bytes = cfg.line_bytes;
+    nsets;
+    assoc = cfg.assoc;
+    tags = make_iarr nlines (-1);
+    dirty = Bytes.make nlines '\000';
+    age = make_iarr nlines 0;
+    clock = 0;
+    resident = 0;
+  }
+
+let line_bytes t = t.line_bytes
+let line_of_addr t addr = addr / t.line_bytes
+let set_of_line t line = line mod t.nsets
+
+let find_way t line =
+  let s = set_of_line t line * t.assoc in
+  let rec go w = if w >= t.assoc then -1 else if Bigarray.Array1.get t.tags (s + w) = line then s + w else go (w + 1) in
+  go 0
+
+let probe t ~line = find_way t line >= 0
+
+let touch t ~line =
+  let idx = find_way t line in
+  if idx >= 0 then begin
+    t.clock <- t.clock + 1;
+    Bigarray.Array1.set t.age idx t.clock;
+    true
+  end
+  else false
+
+let insert t ~line ~dirty =
+  let s = set_of_line t line * t.assoc in
+  t.clock <- t.clock + 1;
+  (* pick an invalid way, else LRU *)
+  let victim = ref (s) in
+  let found_invalid = ref false in
+  for w = 0 to t.assoc - 1 do
+    if (not !found_invalid) && Bigarray.Array1.get t.tags (s + w) = -1 then begin
+      victim := s + w;
+      found_invalid := true
+    end
+  done;
+  if not !found_invalid then begin
+    for w = 1 to t.assoc - 1 do
+      if Bigarray.Array1.get t.age (s + w) < Bigarray.Array1.get t.age !victim
+      then victim := s + w
+    done
+  end;
+  let idx = !victim in
+  let ev =
+    if Bigarray.Array1.get t.tags idx = -1 then None
+    else
+      Some
+        {
+          line = Bigarray.Array1.get t.tags idx;
+          dirty = Bytes.get t.dirty idx <> '\000';
+        }
+  in
+  if ev = None then t.resident <- t.resident + 1;
+  Bigarray.Array1.set t.tags idx line;
+  Bytes.set t.dirty idx (if dirty then '\001' else '\000');
+  Bigarray.Array1.set t.age idx t.clock;
+  ev
+
+let set_dirty t ~line =
+  let idx = find_way t line in
+  if idx >= 0 then Bytes.set t.dirty idx '\001'
+
+let is_dirty t ~line =
+  let idx = find_way t line in
+  idx >= 0 && Bytes.get t.dirty idx <> '\000'
+
+let clear_dirty t ~line =
+  let idx = find_way t line in
+  if idx >= 0 then Bytes.set t.dirty idx '\000'
+
+let invalidate t ~line =
+  let idx = find_way t line in
+  if idx < 0 then false
+  else begin
+    let was_dirty = Bytes.get t.dirty idx <> '\000' in
+    Bigarray.Array1.set t.tags idx (-1);
+    Bytes.set t.dirty idx '\000';
+    t.resident <- t.resident - 1;
+    was_dirty
+  end
+
+let invalidate_range t ~lo_addr ~hi_addr =
+  let lo = lo_addr / t.line_bytes and hi = hi_addr / t.line_bytes in
+  let dirty_dropped = ref 0 in
+  for line = lo to hi do
+    if invalidate t ~line then incr dirty_dropped
+  done;
+  !dirty_dropped
+
+let resident_lines t = t.resident
+
+let clear t =
+  Bigarray.Array1.fill t.tags (-1);
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  t.resident <- 0

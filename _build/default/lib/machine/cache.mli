@@ -1,0 +1,45 @@
+(** Generic set-associative write-back cache with LRU replacement, used for
+    both the 32 KB / 32 B-line L1 and the 4 MB / 128 B-line L2 of each
+    simulated processor (paper §2).
+
+    The cache tracks only line presence and dirtiness; coherence state lives
+    in the {!Directory}. Addresses are byte addresses; lines are identified
+    by [addr / line_bytes]. *)
+
+type t
+
+type evicted = { line : int; dirty : bool }
+
+val create : Config.cache_cfg -> t
+val line_bytes : t -> int
+val line_of_addr : t -> int -> int
+
+val probe : t -> line:int -> bool
+(** Hit test without touching LRU state. *)
+
+val touch : t -> line:int -> bool
+(** Hit test that refreshes LRU on a hit. *)
+
+val insert : t -> line:int -> dirty:bool -> evicted option
+(** Bring [line] in (it must not be present), evicting the set's LRU way if
+    the set is full. Returns the evicted line, if any. *)
+
+val set_dirty : t -> line:int -> unit
+(** Mark a resident line dirty. No-op if absent. *)
+
+val is_dirty : t -> line:int -> bool
+
+val clear_dirty : t -> line:int -> unit
+(** Mark a resident line clean (downgrade after a writeback). No-op if
+    absent. *)
+
+val invalidate : t -> line:int -> bool
+(** Drop the line if present; returns [true] if it was dirty. *)
+
+val invalidate_range : t -> lo_addr:int -> hi_addr:int -> int
+(** Invalidate every resident line overlapping the byte range; returns the
+    number of dirty lines dropped. Used to knock the (smaller) L1 lines out
+    when an L2 line is invalidated. *)
+
+val resident_lines : t -> int
+val clear : t -> unit

@@ -1,0 +1,82 @@
+type cache_cfg = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  hit_cycles : int;
+}
+
+type t = {
+  nprocs : int;
+  procs_per_node : int;
+  page_bytes : int;
+  l1 : cache_cfg;
+  l2 : cache_cfg;
+  tlb_entries : int;
+  tlb_miss_cycles : int;
+  local_mem_cycles : int;
+  remote_base_cycles : int;
+  remote_per_hop_cycles : int;
+  mem_occupancy_cycles : int;
+  dirty_transfer_extra_cycles : int;
+  inval_cycles_per_sharer : int;
+  node_mem_bytes : int;
+}
+
+let origin2000 ~nprocs =
+  {
+    nprocs;
+    procs_per_node = 2;
+    page_bytes = 16384;
+    l1 = { size_bytes = 32768; line_bytes = 32; assoc = 2; hit_cycles = 1 };
+    l2 =
+      { size_bytes = 4 * 1024 * 1024; line_bytes = 128; assoc = 2; hit_cycles = 10 };
+    tlb_entries = 64;
+    tlb_miss_cycles = 57;
+    local_mem_cycles = 70;
+    remote_base_cycles = 110;
+    remote_per_hop_cycles = 12;
+    mem_occupancy_cycles = 24;
+    dirty_transfer_extra_cycles = 40;
+    inval_cycles_per_sharer = 16;
+    (* 16 GB over 64 nodes in the paper's machine, but Figure 4's analysis
+       says one node holds "about 250MB" usable for data *)
+    node_mem_bytes = 250 * 1024 * 1024;
+  }
+
+let scaled ~nprocs ?(factor = 64) () =
+  let base = origin2000 ~nprocs in
+  let shrink x = max 1 (x / factor) in
+  {
+    base with
+    page_bytes = max base.l2.line_bytes (shrink base.page_bytes);
+    l1 = { base.l1 with size_bytes = max (base.l1.line_bytes * base.l1.assoc * 4) (shrink base.l1.size_bytes) };
+    l2 = { base.l2 with size_bytes = max (base.l2.line_bytes * base.l2.assoc * 4) (shrink base.l2.size_bytes) };
+    tlb_entries = max 8 (base.tlb_entries / 4);
+    node_mem_bytes = shrink base.node_mem_bytes;
+  }
+
+let nnodes t = (t.nprocs + t.procs_per_node - 1) / t.procs_per_node
+let node_of_proc t p = p / t.procs_per_node
+let pages_per_node t = t.node_mem_bytes / t.page_bytes
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.nprocs < 1 then err "nprocs < 1"
+  else if t.procs_per_node < 1 then err "procs_per_node < 1"
+  else if not (is_pow2 t.page_bytes) then err "page size must be a power of two"
+  else if not (is_pow2 t.l1.line_bytes && is_pow2 t.l2.line_bytes) then
+    err "cache line sizes must be powers of two"
+  else if t.l1.line_bytes > t.l2.line_bytes then err "L1 line larger than L2 line"
+  else if t.l2.line_bytes > t.page_bytes then err "L2 line larger than a page"
+  else if t.l1.size_bytes mod (t.l1.line_bytes * t.l1.assoc) <> 0 then
+    err "L1 size not a multiple of line*assoc"
+  else if t.l2.size_bytes mod (t.l2.line_bytes * t.l2.assoc) <> 0 then
+    err "L2 size not a multiple of line*assoc"
+  else if t.tlb_entries < 1 then err "tlb_entries < 1"
+  else if
+    t.local_mem_cycles < 1 || t.remote_base_cycles < t.local_mem_cycles
+  then err "remote latency must be >= local latency"
+  else if t.node_mem_bytes < t.page_bytes then err "node memory below one page"
+  else Ok ()

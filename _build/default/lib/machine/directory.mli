@@ -1,0 +1,31 @@
+(** Directory-based invalidation cache-coherence state (paper §2: "the hub
+    maintains cache coherence across processors using a directory-based
+    invalidation protocol").
+
+    One entry per (physical) L2 cache line ever cached. A line is either
+    uncached, shared by a set of processors, or exclusively owned by one
+    processor (which may have dirtied it — the dirty bit itself lives in the
+    owner's cache). The protocol transitions are driven by {!Memsys}. *)
+
+type state =
+  | Uncached
+  | Shared of Bitset.t  (** non-empty sharer set, all copies clean *)
+  | Exclusive of int  (** single owner, possibly dirty *)
+
+type t
+
+val create : nprocs:int -> t
+val state : t -> line:int -> state
+
+val set_exclusive : t -> line:int -> owner:int -> unit
+val add_sharer : t -> line:int -> proc:int -> unit
+(** Moves Uncached -> Shared{proc}; Exclusive q -> Shared{q, proc};
+    Shared s -> Shared (s + proc). *)
+
+val drop : t -> line:int -> proc:int -> unit
+(** Remove [proc] from the line's sharers/ownership (cache eviction). *)
+
+val sharers_except : t -> line:int -> proc:int -> int list
+(** Processors, other than [proc], currently holding the line. *)
+
+val entries : t -> int

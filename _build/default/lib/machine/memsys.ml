@@ -1,0 +1,235 @@
+type t = {
+  cfg : Config.t;
+  topo : Topology.t;
+  pt : Pagetable.t;
+  tlbs : Tlb.t array;
+  l1s : Cache.t array;
+  l2s : Cache.t array;
+  dir : Directory.t;
+  busy_until : int array; (* per-node memory module *)
+  ctrs : Counters.t array;
+  page_shift : int;
+  page_mask : int;
+}
+
+let log2 x =
+  let rec go x acc = if x <= 1 then acc else go (x lsr 1) (acc + 1) in
+  go x 0
+
+let create cfg ~policy =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Memsys.create: " ^ e));
+  let n = cfg.Config.nprocs in
+  {
+    cfg;
+    topo = Topology.create cfg;
+    pt = Pagetable.create cfg policy;
+    tlbs = Array.init n (fun _ -> Tlb.create ~entries:cfg.Config.tlb_entries);
+    l1s = Array.init n (fun _ -> Cache.create cfg.Config.l1);
+    l2s = Array.init n (fun _ -> Cache.create cfg.Config.l2);
+    dir = Directory.create ~nprocs:n;
+    busy_until = Array.make (Config.nnodes cfg) 0;
+    ctrs = Array.init n (fun _ -> Counters.create ());
+    page_shift = log2 cfg.Config.page_bytes;
+    page_mask = cfg.Config.page_bytes - 1;
+  }
+
+let config t = t.cfg
+let topology t = t.topo
+let pagetable t = t.pt
+let directory t = t.dir
+let page_of_addr t addr = addr lsr t.page_shift
+let home_of_addr t addr = Pagetable.home_opt t.pt ~page:(page_of_addr t addr)
+let counters t ~proc = t.ctrs.(proc)
+let total_counters t = Counters.sum t.ctrs
+let reset_counters t = Array.iter Counters.reset t.ctrs
+
+let place_page t ~page ~node = Pagetable.place t.pt ~page ~node
+
+let place_bytes t ~lo ~hi ~node =
+  for page = lo lsr t.page_shift to hi lsr t.page_shift do
+    Pagetable.place t.pt ~page ~node
+  done
+
+let migrate_bytes t ~lo ~hi ~node =
+  let moved = ref 0 in
+  for page = lo lsr t.page_shift to hi lsr t.page_shift do
+    Pagetable.migrate t.pt ~page ~node;
+    incr moved
+  done;
+  !moved
+
+(* Invalidate a physical L2 line (and the L1 lines under it) in processor
+   [victim]'s caches. Returns true if the dropped L2 copy was dirty. *)
+let smash_line t ~victim ~phys_line =
+  let l2 = t.l2s.(victim) in
+  let lo = phys_line * t.cfg.Config.l2.Config.line_bytes in
+  let hi = lo + t.cfg.Config.l2.Config.line_bytes - 1 in
+  ignore (Cache.invalidate_range t.l1s.(victim) ~lo_addr:lo ~hi_addr:hi);
+  Cache.invalidate l2 ~line:phys_line
+
+(* Reserve the memory module of [node] for one line transfer arriving at
+   [arrival]; returns the queueing delay. *)
+let module_service t ~node ~arrival =
+  let start = max arrival t.busy_until.(node) in
+  t.busy_until.(node) <- start + t.cfg.Config.mem_occupancy_cycles;
+  start - arrival
+
+(* Enqueue a writeback at the line's home module; not on the writer's
+   critical path, but it consumes bandwidth. *)
+let enqueue_writeback t ~phys_line ~now =
+  let addr = phys_line * t.cfg.Config.l2.Config.line_bytes in
+  let node = Pagetable.node_of_frame t.pt (addr lsr t.page_shift) in
+  ignore (module_service t ~node ~arrival:now)
+
+let handle_l2_eviction t ~proc ~now (ev : Cache.evicted option) =
+  match ev with
+  | None -> ()
+  | Some { line; dirty } ->
+      (* inclusion: drop the L1 lines under the evicted L2 line *)
+      let lo = line * t.cfg.Config.l2.Config.line_bytes in
+      let hi = lo + t.cfg.Config.l2.Config.line_bytes - 1 in
+      ignore (Cache.invalidate_range t.l1s.(proc) ~lo_addr:lo ~hi_addr:hi);
+      Directory.drop t.dir ~line ~proc;
+      if dirty then begin
+        t.ctrs.(proc).Counters.writebacks <- t.ctrs.(proc).Counters.writebacks + 1;
+        enqueue_writeback t ~phys_line:line ~now
+      end
+
+let access t ~proc ~addr ~write ~now =
+  let c = t.ctrs.(proc) in
+  if write then c.Counters.stores <- c.Counters.stores + 1
+  else c.Counters.loads <- c.Counters.loads + 1;
+  let lat = ref 0 in
+  let page = addr lsr t.page_shift in
+  (* 1. address translation *)
+  if not (Tlb.access t.tlbs.(proc) ~page) then begin
+    c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
+    c.Counters.tlb_stall_cycles <-
+      c.Counters.tlb_stall_cycles + t.cfg.Config.tlb_miss_cycles;
+    lat := !lat + t.cfg.Config.tlb_miss_cycles
+  end;
+  let my_node = Config.node_of_proc t.cfg proc in
+  let home = Pagetable.home t.pt ~page ~faulting_node:my_node in
+  let phys_addr =
+    (Pagetable.frame t.pt ~page lsl t.page_shift) lor (addr land t.page_mask)
+  in
+  let l1 = t.l1s.(proc) and l2 = t.l2s.(proc) in
+  let l1_line = phys_addr / t.cfg.Config.l1.Config.line_bytes in
+  let l2_line = phys_addr / t.cfg.Config.l2.Config.line_bytes in
+  let exclusive_mine () =
+    match Directory.state t.dir ~line:l2_line with
+    | Directory.Exclusive q -> q = proc
+    | _ -> false
+  in
+  let l1_hit = Cache.touch l1 ~line:l1_line in
+  if l1_hit && ((not write) || exclusive_mine ()) then begin
+    if write then begin
+      Cache.set_dirty l1 ~line:l1_line;
+      Cache.set_dirty l2 ~line:l2_line
+    end;
+    lat := !lat + t.cfg.Config.l1.Config.hit_cycles
+  end
+  else begin
+    if not l1_hit then c.Counters.l1_misses <- c.Counters.l1_misses + 1;
+    let l2_hit = Cache.touch l2 ~line:l2_line in
+    if l2_hit && ((not write) || exclusive_mine ()) then begin
+      (* L2 hit (or write to an exclusively-held line) *)
+      lat := !lat + t.cfg.Config.l2.Config.hit_cycles;
+      if write then Cache.set_dirty l2 ~line:l2_line
+    end
+    else if l2_hit (* && write && not exclusive: upgrade *) then begin
+      c.Counters.upgrades <- c.Counters.upgrades + 1;
+      let others = Directory.sharers_except t.dir ~line:l2_line ~proc in
+      List.iter
+        (fun q ->
+          ignore (smash_line t ~victim:q ~phys_line:l2_line);
+          t.ctrs.(q).Counters.invals_received <-
+            t.ctrs.(q).Counters.invals_received + 1)
+        others;
+      c.Counters.invals_sent <- c.Counters.invals_sent + List.length others;
+      let route = Topology.route_cycles t.topo ~from_node:my_node ~to_node:home in
+      lat :=
+        !lat + t.cfg.Config.l2.Config.hit_cycles + route
+        + (t.cfg.Config.inval_cycles_per_sharer * List.length others);
+      Directory.set_exclusive t.dir ~line:l2_line ~owner:proc;
+      Cache.set_dirty l2 ~line:l2_line
+    end
+    else begin
+      (* L2 miss: directory transaction at the page's home node *)
+      c.Counters.l2_misses <- c.Counters.l2_misses + 1;
+      let arrival = now + !lat in
+      let base_lat = Topology.mem_latency t.topo ~proc_node:my_node ~home_node:home in
+      (* who supplies the data? *)
+      let dirty_owner =
+        match Directory.state t.dir ~line:l2_line with
+        | Directory.Exclusive q when q <> proc && Cache.is_dirty t.l2s.(q) ~line:l2_line ->
+            Some q
+        | _ -> None
+      in
+      (match dirty_owner with
+      | Some q ->
+          (* cache-to-cache: owner forwards; its copy is written back (read)
+             or invalidated (write) *)
+          c.Counters.dirty_fetches <- c.Counters.dirty_fetches + 1;
+          let q_node = Config.node_of_proc t.cfg q in
+          lat :=
+            !lat + base_lat + t.cfg.Config.dirty_transfer_extra_cycles
+            + Topology.route_cycles t.topo ~from_node:q_node ~to_node:my_node;
+          enqueue_writeback t ~phys_line:l2_line ~now:arrival;
+          if write then begin
+            ignore (smash_line t ~victim:q ~phys_line:l2_line);
+            t.ctrs.(q).Counters.invals_received <-
+              t.ctrs.(q).Counters.invals_received + 1;
+            c.Counters.invals_sent <- c.Counters.invals_sent + 1;
+            Directory.set_exclusive t.dir ~line:l2_line ~owner:proc
+          end
+          else begin
+            (* owner's copy becomes clean-shared *)
+            Cache.clear_dirty t.l2s.(q) ~line:l2_line;
+            Directory.add_sharer t.dir ~line:l2_line ~proc
+          end
+      | None ->
+          (* memory supplies the line *)
+          let wait = module_service t ~node:home ~arrival in
+          c.Counters.contention_cycles <- c.Counters.contention_cycles + wait;
+          lat := !lat + base_lat + wait;
+          if write then begin
+            let others = Directory.sharers_except t.dir ~line:l2_line ~proc in
+            List.iter
+              (fun q ->
+                ignore (smash_line t ~victim:q ~phys_line:l2_line);
+                t.ctrs.(q).Counters.invals_received <-
+                  t.ctrs.(q).Counters.invals_received + 1)
+              others;
+            c.Counters.invals_sent <- c.Counters.invals_sent + List.length others;
+            lat := !lat + (t.cfg.Config.inval_cycles_per_sharer * List.length others);
+            Directory.set_exclusive t.dir ~line:l2_line ~owner:proc
+          end
+          else begin
+            match Directory.state t.dir ~line:l2_line with
+            | Directory.Uncached ->
+                (* MESI E state: sole reader gets a clean-exclusive copy *)
+                Directory.set_exclusive t.dir ~line:l2_line ~owner:proc
+            | _ -> Directory.add_sharer t.dir ~line:l2_line ~proc
+          end);
+      if home = my_node then c.Counters.local_fills <- c.Counters.local_fills + 1
+      else c.Counters.remote_fills <- c.Counters.remote_fills + 1;
+      handle_l2_eviction t ~proc ~now (Cache.insert l2 ~line:l2_line ~dirty:write)
+    end;
+    (* refill L1 (unless it was an L1 hit that merely needed an upgrade) *)
+    if not l1_hit then begin
+      match Cache.insert l1 ~line:l1_line ~dirty:write with
+      | Some { line = evl; dirty = true } ->
+          (* L1 victim writeback folds into L2 (on-chip, free); convert the
+             L1 line id to the covering L2 line id *)
+          Cache.set_dirty l2
+            ~line:(evl * t.cfg.Config.l1.Config.line_bytes
+                   / t.cfg.Config.l2.Config.line_bytes)
+      | _ -> ()
+    end
+    else if write then Cache.set_dirty l1 ~line:l1_line
+  end;
+  c.Counters.mem_stall_cycles <- c.Counters.mem_stall_cycles + !lat;
+  !lat

@@ -1,0 +1,48 @@
+(** The complete simulated memory system of the CC-NUMA machine: per-processor
+    TLBs and two-level caches, the page table, the coherence directory, and
+    per-node memory modules with finite bandwidth.
+
+    [access] is the single entry point the VM uses for every load and store.
+    It returns the access latency in cycles, charging:
+    - a TLB miss penalty when the page translation is absent;
+    - L1/L2 hit latencies;
+    - on an L2 miss, the uncontended local (~70 cycles) or remote (110–180,
+      by hypercube hop count) memory latency of the page's home node, plus
+      queueing delay when that node's memory module is saturated (per-node
+      bandwidth is what makes a hot node a bottleneck, §8.2);
+    - coherence costs: invalidations on writes to shared lines, and
+      cache-to-cache transfers when another processor holds the line dirty.
+
+    Addresses are byte addresses in the simulated shared virtual address
+    space; the machine holds no data, only state and timing (the runtime's
+    heap stores values). *)
+
+type t
+
+val create : Config.t -> policy:Pagetable.policy -> t
+val config : t -> Config.t
+val topology : t -> Topology.t
+
+val access : t -> proc:int -> addr:int -> write:bool -> now:int -> int
+(** Latency in cycles of a one-word access by [proc] at local time [now]. *)
+
+val place_bytes : t -> lo:int -> hi:int -> node:int -> unit
+(** Explicitly place every page overlapping byte range [lo, hi] on [node]
+    (pages already placed are left alone — first placement wins, like
+    consecutive placement system calls). *)
+
+val place_page : t -> page:int -> node:int -> unit
+
+val migrate_bytes : t -> lo:int -> hi:int -> node:int -> int
+(** Re-home all pages overlapping the range; returns the number of pages
+    moved (the runtime charges redistribution cost per page). *)
+
+val page_of_addr : t -> int -> int
+val home_of_addr : t -> int -> int option
+
+val counters : t -> proc:int -> Counters.t
+val total_counters : t -> Counters.t
+val reset_counters : t -> unit
+
+val pagetable : t -> Pagetable.t
+val directory : t -> Directory.t

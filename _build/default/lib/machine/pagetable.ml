@@ -1,0 +1,122 @@
+type policy = First_touch | Round_robin
+
+type entry = { mutable node : int; mutable frame : int }
+
+type t = {
+  cfg : Config.t;
+  policy : policy;
+  table : (int, entry) Hashtbl.t;
+  used : int array; (* frames allocated per node *)
+  color_next : int array array; (* per-node, per-color allocation round *)
+  colors : int;
+  capacity : int; (* frames per node *)
+  mutable rr_next : int;
+  mutable overflow : int; (* machine-full allocations (separate frame region) *)
+  nnodes : int;
+}
+
+let create cfg policy =
+  let nnodes = Config.nnodes cfg in
+  (* page colors: one per way-size/page-size class, as in the IRIX
+     page-coloring algorithm the paper credits (§8.2) — physical frames are
+     chosen so a page keeps its virtual color and contiguous virtual
+     addresses do not conflict in the (physically indexed) cache *)
+  let colors =
+    max 1
+      (cfg.Config.l2.Config.size_bytes / cfg.Config.l2.Config.assoc
+      / cfg.Config.page_bytes)
+  in
+  {
+    cfg;
+    policy;
+    table = Hashtbl.create 4096;
+    used = Array.make nnodes 0;
+    color_next = Array.init nnodes (fun _ -> Array.make colors 0);
+    colors;
+    capacity = max 1 (Config.pages_per_node cfg);
+    rr_next = 0;
+    overflow = 0;
+    nnodes;
+  }
+
+let policy t = t.policy
+
+(* global frame id = node * frame_stride + local frame; local frames are
+   color + round*colors with round bounded by the node capacity (plus the
+   overflow slack when the whole machine is full) *)
+let frame_stride t = (t.capacity + 4) * t.colors
+
+let node_of_frame t f = min (t.nnodes - 1) (f / frame_stride t)
+
+(* Allocate a colored frame on [node] for virtual page [page], spilling to
+   following nodes when full. If the whole machine is full, keep
+   over-allocating on the preferred node (the simulator does not model
+   swapping). The local frame is congruent to the page's color, so the
+   physically indexed cache sees the virtual layout's conflict pattern. *)
+let alloc_frame t node ~page =
+  let color = page mod t.colors in
+  let take n =
+    let round = t.color_next.(n).(color) in
+    t.color_next.(n).(color) <- round + 1;
+    t.used.(n) <- t.used.(n) + 1;
+    (n, (n * frame_stride t) + color + (round * t.colors))
+  in
+  let rec go n tries =
+    if tries >= t.nnodes then begin
+      (* whole machine full: frames come from a dedicated overflow region
+         above every node's range (no swapping is modelled), colored like
+         normal allocations *)
+      let f = t.overflow in
+      t.overflow <- f + 1;
+      ( node,
+        (t.nnodes * frame_stride t)
+        + color
+        + (f * t.colors) )
+    end
+    else if t.used.(n) < t.capacity then take n
+    else go ((n + 1) mod t.nnodes) (tries + 1)
+  in
+  go node 0
+
+let place_new t ~page ~node =
+  let actual, frame = alloc_frame t node ~page in
+  Hashtbl.replace t.table page { node = actual; frame }
+
+let place t ~page ~node =
+  if not (Hashtbl.mem t.table page) then place_new t ~page ~node
+
+let home t ~page ~faulting_node =
+  match Hashtbl.find_opt t.table page with
+  | Some e -> e.node
+  | None ->
+      let node =
+        match t.policy with
+        | First_touch -> faulting_node
+        | Round_robin ->
+            let n = t.rr_next in
+            t.rr_next <- (t.rr_next + 1) mod t.nnodes;
+            n
+      in
+      place_new t ~page ~node;
+      (Hashtbl.find t.table page).node
+
+let home_opt t ~page =
+  Option.map (fun e -> e.node) (Hashtbl.find_opt t.table page)
+
+let migrate t ~page ~node =
+  let actual, frame = alloc_frame t node ~page in
+  match Hashtbl.find_opt t.table page with
+  | Some e ->
+      e.node <- actual;
+      e.frame <- frame
+  | None -> Hashtbl.replace t.table page { node = actual; frame }
+
+let frame t ~page =
+  match Hashtbl.find_opt t.table page with
+  | Some e -> e.frame
+  | None -> invalid_arg "Pagetable.frame: page not placed"
+
+let pages_on_node t ~node =
+  Hashtbl.fold (fun _ e acc -> if e.node = node then acc + 1 else acc) t.table 0
+
+let placed_pages t = Hashtbl.length t.table

@@ -1,0 +1,35 @@
+type t = {
+  entries : int;
+  table : (int, int) Hashtbl.t; (* page -> last-use stamp *)
+  mutable clock : int;
+}
+
+let create ~entries =
+  if entries < 1 then invalid_arg "Tlb.create: entries < 1";
+  { entries; table = Hashtbl.create (2 * entries); clock = 0 }
+
+let access t ~page =
+  t.clock <- t.clock + 1;
+  if Hashtbl.mem t.table page then (
+    Hashtbl.replace t.table page t.clock;
+    true)
+  else begin
+    if Hashtbl.length t.table >= t.entries then begin
+      (* evict LRU: scan the (small, bounded) table *)
+      let victim = ref (-1) and oldest = ref max_int in
+      Hashtbl.iter
+        (fun p stamp ->
+          if stamp < !oldest then begin
+            oldest := stamp;
+            victim := p
+          end)
+        t.table;
+      Hashtbl.remove t.table !victim
+    end;
+    Hashtbl.replace t.table page t.clock;
+    false
+  end
+
+let flush t = Hashtbl.reset t.table
+let entries t = t.entries
+let resident t = Hashtbl.length t.table

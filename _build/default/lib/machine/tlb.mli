@@ -1,0 +1,18 @@
+(** Per-processor translation lookaside buffer, fully associative with LRU
+    replacement (the R10000 has 64 entries).
+
+    Reshaping "uses all the data in a page, [so] it uses much fewer pages"
+    (paper §8.2) — this module is what turns that into a measurable effect. *)
+
+type t
+
+val create : entries:int -> t
+
+val access : t -> page:int -> bool
+(** [access t ~page] returns [true] on a hit; on a miss the page is brought
+    in, evicting the least-recently-used entry if full. *)
+
+val flush : t -> unit
+val entries : t -> int
+val resident : t -> int
+(** Number of currently valid entries. *)

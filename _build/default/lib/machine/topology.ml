@@ -1,0 +1,28 @@
+type t = { cfg : Config.t; nnodes : int }
+
+let create cfg = { cfg; nnodes = Config.nnodes cfg }
+let nnodes t = t.nnodes
+let node_of_proc t p = Config.node_of_proc t.cfg p
+
+let hops t n1 n2 =
+  if n1 < 0 || n1 >= t.nnodes || n2 < 0 || n2 >= t.nnodes then
+    invalid_arg "Topology.hops: node out of range";
+  if n1 = n2 then 0
+  else
+    let x = n1 lxor n2 in
+    let rec pc x acc = if x = 0 then acc else pc (x land (x - 1)) (acc + 1) in
+    max 1 (pc x 0)
+
+let route_cycles t ~from_node ~to_node =
+  let h = hops t from_node to_node in
+  if h = 0 then 0
+  else
+    (t.cfg.Config.remote_base_cycles - t.cfg.Config.local_mem_cycles)
+    + ((h - 1) * t.cfg.Config.remote_per_hop_cycles)
+
+let mem_latency t ~proc_node ~home_node =
+  let h = hops t proc_node home_node in
+  if h = 0 then t.cfg.Config.local_mem_cycles
+  else
+    t.cfg.Config.remote_base_cycles
+    + ((h - 1) * t.cfg.Config.remote_per_hop_cycles)

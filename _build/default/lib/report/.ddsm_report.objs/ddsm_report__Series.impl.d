@@ -1,0 +1,1 @@
+lib/report/series.ml: Array Float Format List Option String

@@ -1,0 +1,45 @@
+module C = Ddsm_machine.Counters
+
+type t = {
+  accesses : int;
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  l2_misses : int;
+  tlb_misses : int;
+  tlb_stall_fraction : float;
+  local_fill_fraction : float;
+  remote_fills : int;
+  invalidations : int;
+  contention_fraction : float;
+}
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let of_counters (c : C.t) =
+  {
+    accesses = C.accesses c;
+    l1_miss_rate = ratio c.C.l1_misses (C.accesses c);
+    l2_miss_rate = ratio c.C.l2_misses c.C.l1_misses;
+    l2_misses = c.C.l2_misses;
+    tlb_misses = c.C.tlb_misses;
+    tlb_stall_fraction = ratio c.C.tlb_stall_cycles c.C.mem_stall_cycles;
+    local_fill_fraction = ratio c.C.local_fills (c.C.local_fills + c.C.remote_fills);
+    remote_fills = c.C.remote_fills;
+    invalidations = c.C.invals_sent;
+    contention_fraction = ratio c.C.contention_cycles c.C.mem_stall_cycles;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>accesses: %d@ L1 miss rate: %.2f%%  L2 misses: %d (%.2f%% of L1 \
+     misses)@ TLB misses: %d (%.1f%% of memory stall)@ local fills: %.1f%%  \
+     remote fills: %d@ invalidations: %d  contention: %.1f%% of stall@]"
+    t.accesses
+    (100.0 *. t.l1_miss_rate)
+    t.l2_misses
+    (100.0 *. t.l2_miss_rate)
+    t.tlb_misses
+    (100.0 *. t.tlb_stall_fraction)
+    (100.0 *. t.local_fill_fraction)
+    t.remote_fills t.invalidations
+    (100.0 *. t.contention_fraction)

@@ -1,0 +1,19 @@
+(** Derived metrics from the simulator's hardware-counter-like totals — the
+    quantities the paper's §8 analysis quotes (cache-miss counts, the share
+    of time in TLB handling, local vs. remote fills). *)
+
+type t = {
+  accesses : int;
+  l1_miss_rate : float;
+  l2_miss_rate : float;  (** of L1 misses *)
+  l2_misses : int;
+  tlb_misses : int;
+  tlb_stall_fraction : float;  (** of total memory stall *)
+  local_fill_fraction : float;  (** of all fills *)
+  remote_fills : int;
+  invalidations : int;
+  contention_fraction : float;
+}
+
+val of_counters : Ddsm_machine.Counters.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/argcheck.ml: Array Ddsm_dist Format Hashtbl Kind List Option

@@ -1,0 +1,1 @@
+lib/runtime/argcheck.mli: Ddsm_dist Kind

@@ -1,0 +1,1 @@
+lib/runtime/darray.ml: Array Config Ddsm_dist Ddsm_machine Dim_map Hashtbl Heap Kind Layout List Memsys Pagetable Pools Printf

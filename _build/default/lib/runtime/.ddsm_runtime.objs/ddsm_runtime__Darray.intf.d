@@ -1,0 +1,1 @@
+lib/runtime/darray.mli: Ddsm_dist Ddsm_machine Heap Kind Layout Pools

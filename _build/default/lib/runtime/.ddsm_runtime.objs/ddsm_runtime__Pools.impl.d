@@ -1,0 +1,1 @@
+lib/runtime/pools.ml: Config Ddsm_machine Hashtbl Heap Memsys

@@ -1,0 +1,1 @@
+lib/runtime/pools.mli: Ddsm_machine Heap

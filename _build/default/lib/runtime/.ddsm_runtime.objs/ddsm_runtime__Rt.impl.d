@@ -1,0 +1,1 @@
+lib/runtime/rt.ml: Argcheck Config Darray Ddsm_machine Hashtbl Heap Memsys Pools Printf

@@ -1,0 +1,1 @@
+lib/runtime/rt.mli: Argcheck Config Darray Ddsm_dist Ddsm_machine Hashtbl Heap Kind Memsys Pagetable Pools

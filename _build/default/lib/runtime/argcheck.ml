@@ -1,0 +1,85 @@
+open Ddsm_dist
+
+type info =
+  | Whole_array of { extents : int array; kinds : Kind.t array }
+  | Portion of { words : int }
+
+type t = (int, info list) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let register t ~addr info =
+  let stack = Option.value ~default:[] (Hashtbl.find_opt t addr) in
+  Hashtbl.replace t addr (info :: stack)
+
+let unregister t ~addr =
+  match Hashtbl.find_opt t addr with
+  | None | Some [] -> ()
+  | Some [ _ ] -> Hashtbl.remove t addr
+  | Some (_ :: rest) -> Hashtbl.replace t addr rest
+
+let lookup t ~addr =
+  match Hashtbl.find_opt t addr with
+  | None | Some [] -> None
+  | Some (i :: _) -> Some i
+
+let pp_dims ppf dims =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (Array.to_list dims)
+
+let check_entry t ~addr ~name ~formal_extents ?formal_kinds () =
+  match lookup t ~addr with
+  | None -> Ok ()
+  | Some (Portion { words }) ->
+      let formal_words = Array.fold_left ( * ) 1 formal_extents in
+      if formal_words > words then
+        Error
+          (Format.asprintf
+             "runtime error: formal parameter %s declared %a (%d words) \
+              exceeds the %d-word portion of a reshaped array passed as \
+              actual argument"
+             name pp_dims formal_extents formal_words words)
+      else Ok ()
+  | Some (Whole_array { extents; kinds }) ->
+      if Array.length extents <> Array.length formal_extents then
+        Error
+          (Format.asprintf
+             "runtime error: formal parameter %s has %d dimensions but the \
+              reshaped actual argument has %d"
+             name
+             (Array.length formal_extents)
+             (Array.length extents))
+      else if extents <> formal_extents then
+        Error
+          (Format.asprintf
+             "runtime error: formal parameter %s declared %a but the \
+              reshaped actual argument has shape %a (sizes must match \
+              exactly)"
+             name pp_dims formal_extents pp_dims extents)
+      else begin
+        match formal_kinds with
+        | None -> Ok ()
+        | Some fk ->
+            if
+              Array.length fk = Array.length kinds
+              && Array.for_all2 Kind.equal fk kinds
+            then Ok ()
+            else
+              Error
+                (Format.asprintf
+                   "runtime error: formal parameter %s expects distribution \
+                    (%a) but the actual argument is distributed (%a)"
+                   name
+                   (Format.pp_print_list
+                      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+                      Kind.pp)
+                   (Array.to_list fk)
+                   (Format.pp_print_list
+                      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+                      Kind.pp)
+                   (Array.to_list kinds))
+      end
+
+let depth t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t 0

@@ -1,0 +1,244 @@
+open Ddsm_dist
+open Ddsm_machine
+
+type elem = Real | Int
+
+module Meta = struct
+  let procs_off ~dim = 3 * dim
+  let block_off ~dim = (3 * dim) + 1
+  let stor_off ~dim = (3 * dim) + 2
+  let bases_off ~ndims = 3 * ndims
+  let size ~ndims ~nprocs = (3 * ndims) + nprocs
+end
+
+type storage =
+  | Normal of { base : int }
+  | Reshaped of { meta_base : int; bases : int array; portion_words : int }
+
+type t = {
+  name : string;
+  elem : elem;
+  extents : int array;
+  lower : int array;
+  mutable layout : Layout.t option;
+  reshaped : bool;
+  storage : storage;
+  meta : int option;
+}
+
+let default_lower extents = Array.map (fun _ -> 1) extents
+
+let element_count t = Array.fold_left ( * ) 1 t.extents
+
+let zero_based t idx =
+  if Array.length idx <> Array.length t.extents then
+    invalid_arg "Darray: index arity mismatch";
+  Array.mapi (fun d i -> i - t.lower.(d)) idx
+
+let nprocs t = match t.layout with None -> 1 | Some l -> Layout.nprocs l
+
+let alloc_plain heap ~name ~elem ~extents ?lower ~page_words () =
+  let lower = match lower with Some l -> l | None -> default_lower extents in
+  if Array.length lower <> Array.length extents then
+    invalid_arg "Darray.alloc_plain: lower-bound arity mismatch";
+  let words = Array.fold_left ( * ) 1 extents in
+  let padded = (words + page_words - 1) / page_words * page_words in
+  let base = Heap.alloc heap ~words:padded ~align_words:page_words in
+  {
+    name;
+    elem;
+    extents;
+    lower;
+    layout = None;
+    reshaped = false;
+    storage = Normal { base };
+    meta = None;
+  }
+
+(* Page-placement map for a regular distribution: each page goes to the node
+   of the LAST processor (in increasing order) whose portion touches it. *)
+let regular_page_homes mem layout ~base_word =
+  let cfg = Memsys.config mem in
+  let page_bytes = cfg.Config.page_bytes in
+  let base_byte = Heap.byte_of_word base_word in
+  let homes = Hashtbl.create 256 in
+  for p = 0 to Layout.nprocs layout - 1 do
+    let node = Config.node_of_proc cfg p in
+    List.iter
+      (fun (lo, hi) ->
+        let lo_pg = (base_byte + lo) / page_bytes
+        and hi_pg = (base_byte + hi) / page_bytes in
+        for pg = lo_pg to hi_pg do
+          Hashtbl.replace homes pg node
+        done)
+      (Layout.contiguous_ranges layout ~proc:p ~elem_bytes:Heap.word_bytes)
+  done;
+  homes
+
+(* Allocate and fill the descriptor block (distribution parameters and,
+   for reshaped arrays, the processor-pointer slots) for a layout. *)
+let alloc_meta heap layout =
+  let ndims = Array.length layout.Layout.extents in
+  let np = Layout.nprocs layout in
+  let stor = Layout.storage_extents layout in
+  let meta_base =
+    Heap.alloc heap ~words:(Meta.size ~ndims ~nprocs:np) ~align_words:1
+  in
+  Array.iteri
+    (fun d (dm : Dim_map.t) ->
+      Heap.set_int heap (meta_base + Meta.procs_off ~dim:d) dm.Dim_map.procs;
+      Heap.set_int heap (meta_base + Meta.block_off ~dim:d) dm.Dim_map.block;
+      Heap.set_int heap (meta_base + Meta.stor_off ~dim:d) stor.(d))
+    layout.Layout.dims;
+  meta_base
+
+let alloc_regular heap mem ~name ~elem ~extents ?lower ~kinds ?onto ~nprocs () =
+  let cfg = Memsys.config mem in
+  let page_words = cfg.Config.page_bytes / Heap.word_bytes in
+  let t = alloc_plain heap ~name ~elem ~extents ?lower ~page_words () in
+  let layout = Layout.make ~extents ~kinds ~nprocs ?onto () in
+  let base = match t.storage with Normal { base } -> base | _ -> assert false in
+  let homes = regular_page_homes mem layout ~base_word:base in
+  Hashtbl.iter (fun pg node -> Memsys.place_page mem ~page:pg ~node) homes;
+  { t with layout = Some layout; meta = Some (alloc_meta heap layout) }
+
+let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
+    ~nprocs () =
+  ignore (Memsys.config mem);
+  let lower = match lower with Some l -> l | None -> default_lower extents in
+  let layout = Layout.make ~extents ~kinds ~nprocs ?onto () in
+  let np = Layout.nprocs layout in
+  let ndims = Array.length extents in
+  let stor = Layout.storage_extents layout in
+  let portion_words = Array.fold_left ( * ) 1 stor in
+  (* descriptor block: distribution parameters + processor-pointer array *)
+  let meta_base = alloc_meta heap layout in
+  let bases =
+    Array.init np (fun p ->
+        let base = Pools.alloc pools ~proc:p ~words:portion_words in
+        Heap.set_int heap (meta_base + Meta.bases_off ~ndims + p) base;
+        base)
+  in
+  {
+    name;
+    elem;
+    extents;
+    lower;
+    layout = Some layout;
+    reshaped = true;
+    storage = Reshaped { meta_base; bases; portion_words };
+    meta = Some meta_base;
+  }
+
+let meta_base t =
+  match t.meta with
+  | Some m -> m
+  | None -> invalid_arg "Darray.meta_base: not a distributed array"
+
+let portion_base t ~proc =
+  match t.storage with
+  | Reshaped { bases; _ } ->
+      if proc < 0 || proc >= Array.length bases then
+        invalid_arg "Darray.portion_base: proc out of range";
+      bases.(proc)
+  | Normal _ -> invalid_arg "Darray.portion_base: not reshaped"
+
+let portion_words t ~proc =
+  match t.storage with
+  | Reshaped { portion_words; bases; _ } ->
+      if proc < 0 || proc >= Array.length bases then
+        invalid_arg "Darray.portion_words: proc out of range";
+      portion_words
+  | Normal _ -> invalid_arg "Darray.portion_words: not reshaped"
+
+let refill_meta heap t layout =
+  match t.meta with
+  | None -> ()
+  | Some meta_base ->
+      let stor = Layout.storage_extents layout in
+      Array.iteri
+        (fun d (dm : Dim_map.t) ->
+          Heap.set_int heap (meta_base + Meta.procs_off ~dim:d) dm.Dim_map.procs;
+          Heap.set_int heap (meta_base + Meta.block_off ~dim:d) dm.Dim_map.block;
+          Heap.set_int heap (meta_base + Meta.stor_off ~dim:d) stor.(d))
+        layout.Layout.dims
+
+let redistribute t heap mem ~kinds ?onto ~nprocs () =
+  if t.reshaped then
+    Error
+      (Printf.sprintf "array %s: reshaped arrays cannot be redistributed" t.name)
+  else
+    match (t.layout, t.storage) with
+    | None, _ -> Error (Printf.sprintf "array %s: not a distributed array" t.name)
+    | Some _, Normal { base } ->
+        let layout = Layout.make ~extents:t.extents ~kinds ~nprocs ?onto () in
+        let homes = regular_page_homes mem layout ~base_word:base in
+        let moved = ref 0 in
+        let pt = Memsys.pagetable mem in
+        Hashtbl.iter
+          (fun pg node ->
+            match Pagetable.home_opt pt ~page:pg with
+            | Some cur when cur = node -> ()
+            | _ ->
+                Pagetable.migrate pt ~page:pg ~node;
+                incr moved)
+          homes;
+        t.layout <- Some layout;
+        refill_meta heap t layout;
+        Ok !moved
+    | Some _, Reshaped _ -> assert false
+
+(* Number of consecutive *global* elements, starting at [idx], that are
+   stored contiguously: along the first dimension up to the end of the
+   owner's block/chunk (this is the "portion" an element argument passes to
+   a subroutine, §3.2.1). Plain arrays: the rest of the array. *)
+let portion_run t idx =
+  let idx0 = zero_based t idx in
+  match t.layout with
+  | None ->
+      let lin = ref 0 and stride = ref 1 in
+      Array.iteri
+        (fun d i ->
+          lin := !lin + (i * !stride);
+          stride := !stride * t.extents.(d))
+        idx0;
+      element_count t - !lin
+  | Some l -> (
+      let i0 = idx0.(0) in
+      let dm = l.Layout.dims.(0) in
+      match dm.Dim_map.kind with
+      | Kind.Star -> t.extents.(0) - i0
+      | Kind.Block -> dm.Dim_map.block - (i0 mod dm.Dim_map.block)
+      | Kind.Cyclic -> 1
+      | Kind.Cyclic_k k -> k - (i0 mod k))
+
+let word_addr t idx =
+  let idx0 = zero_based t idx in
+  Array.iteri
+    (fun d i ->
+      if i < 0 || i >= t.extents.(d) then
+        invalid_arg
+          (Printf.sprintf "array %s: index %d out of bounds in dim %d" t.name
+             (i + t.lower.(d)) (d + 1)))
+    idx0;
+  match (t.storage, t.layout) with
+  | Normal { base }, _ ->
+      let addr = ref base and stride = ref 1 in
+      Array.iteri
+        (fun d i ->
+          addr := !addr + (i * !stride);
+          stride := !stride * t.extents.(d))
+        idx0;
+      !addr
+  | Reshaped _, Some layout ->
+      let p = Layout.owner layout idx0 in
+      let offs = Layout.offsets layout idx0 in
+      let stor = Layout.storage_extents layout in
+      let loclin = ref 0 and stride = ref 1 in
+      Array.iteri
+        (fun d off ->
+          loclin := !loclin + (off * !stride);
+          stride := !stride * stor.(d))
+        offs;
+      portion_base t ~proc:p + !loclin
+  | Reshaped _, None -> assert false

@@ -1,0 +1,111 @@
+(** Distributed-array descriptors and storage management.
+
+    Three storage classes mirror the paper's §3.2/§4:
+
+    - {b plain} arrays: ordinary column-major Fortran storage, pages placed
+      by the machine's default policy (first-touch or round-robin);
+    - {b regular} distribution ([c$distribute]): the same column-major
+      storage, but the runtime issues placement calls so each portion's
+      pages land on the owner's node. Placement is page-granular: a page
+      requested for several portions goes to the *last* requester (§8.3),
+      which is what makes regular distribution degrade when portions are
+      much smaller than a page;
+    - {b reshaped} distribution ([c$distribute_reshape]): the array becomes
+      a processor-array of per-processor portions (Figure 3), each allocated
+      from the owner's local {!Pools} pool, plus an in-memory descriptor
+      block (distribution parameters and the processor-pointer array) that
+      compiled code loads when computing Table 1 addresses.
+
+    Indices passed to this module are Fortran-style (respecting each
+    dimension's lower bound, usually 1). *)
+
+open Ddsm_dist
+
+type elem = Real | Int
+
+(** Layout of the in-memory descriptor block of a reshaped array, used by
+    the compiler when emitting address computations. All fields are integer
+    words at [meta_base + offset]: for each dimension [d] of [ndims], words
+    [3d..3d+2] hold (procs, block-size, storage-extent); the
+    processor-pointer array (word address of each processor's portion)
+    starts at word [3*ndims]. *)
+module Meta : sig
+  val procs_off : dim:int -> int
+  val block_off : dim:int -> int
+  val stor_off : dim:int -> int
+  val bases_off : ndims:int -> int
+  val size : ndims:int -> nprocs:int -> int
+end
+
+type storage =
+  | Normal of { base : int }  (** column-major at this word address *)
+  | Reshaped of {
+      meta_base : int;  (** word address of the descriptor block *)
+      bases : int array;  (** host-side copy of the processor-pointer array *)
+      portion_words : int;  (** per-processor storage-box size *)
+    }
+
+type t = {
+  name : string;
+  elem : elem;
+  extents : int array;
+  lower : int array;  (** per-dimension lower bounds *)
+  mutable layout : Layout.t option;  (** [Some] iff distributed *)
+  reshaped : bool;
+  storage : storage;
+  meta : int option;
+      (** word address of the descriptor block; present for every
+          distributed array (regular or reshaped) so compiled affinity
+          scheduling can load [P] and [b] at runtime *)
+}
+
+val alloc_plain :
+  Heap.t -> name:string -> elem:elem -> extents:int array ->
+  ?lower:int array -> page_words:int -> unit -> t
+(** Plain array, page-aligned and padded to whole pages so its placement
+    cannot interfere with neighbouring allocations. *)
+
+val alloc_regular :
+  Heap.t -> Ddsm_machine.Memsys.t -> name:string -> elem:elem ->
+  extents:int array -> ?lower:int array -> kinds:Kind.t array ->
+  ?onto:int array -> nprocs:int -> unit -> t
+(** Regular distribution: plain storage plus explicit page placement. *)
+
+val alloc_reshaped :
+  Heap.t -> Ddsm_machine.Memsys.t -> Pools.t -> name:string -> elem:elem ->
+  extents:int array -> ?lower:int array -> kinds:Kind.t array ->
+  ?onto:int array -> nprocs:int -> unit -> t
+
+val redistribute :
+  t -> Heap.t -> Ddsm_machine.Memsys.t -> kinds:Kind.t array ->
+  ?onto:int array -> nprocs:int -> unit -> (int, string) result
+(** [c$redistribute]: re-home the pages of a regular distributed array for
+    new distribution kinds; returns the number of pages migrated. Errors on
+    reshaped arrays (§3.3 forbids redistribution of reshaped data) and on
+    plain arrays. *)
+
+val word_addr : t -> int array -> int
+(** Word address of an element (Fortran indices). For reshaped arrays this
+    is the runtime oracle for the compiled Table 1 address computation. *)
+
+val element_count : t -> int
+val zero_based : t -> int array -> int array
+(** Subtract lower bounds. *)
+
+val portion_run : t -> int array -> int
+(** Consecutive global elements starting at the given (Fortran) indices
+    that live contiguously in the owner's portion: the size of the portion
+    an element argument denotes (paper §3.2.1 — a [cyclic(5)] element at a
+    chunk start denotes 5 elements). Plain arrays: the rest of the array. *)
+
+val portion_base : t -> proc:int -> int
+(** Reshaped arrays: word address of [proc]'s portion. *)
+
+val portion_words : t -> proc:int -> int
+(** Number of words of [proc]'s *storage box* (reshaped allocation size). *)
+
+val meta_base : t -> int
+(** Distributed arrays: word address of the descriptor block. *)
+
+val nprocs : t -> int
+(** Processors the array is distributed over (1 for plain arrays). *)

@@ -1,0 +1,34 @@
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type reals = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Bigarray storage keeps the (potentially huge) simulated memory out of the
+   OCaml GC's marking work: a 16M-word int array would otherwise be scanned
+   on every major slice, dominating simulation time. *)
+type t = { reals : reals; ints : ints; mutable brk : int }
+
+let word_bytes = 8
+
+let create ~words =
+  if words < 1 then invalid_arg "Heap.create";
+  let reals = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout words in
+  let ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout words in
+  Bigarray.Array1.fill reals 0.0;
+  Bigarray.Array1.fill ints 0;
+  { reals; ints; brk = 0 }
+
+let size_words t = Bigarray.Array1.dim t.reals
+let used_words t = t.brk
+
+let alloc t ~words ~align_words =
+  if words < 0 || align_words < 1 then invalid_arg "Heap.alloc";
+  let base = (t.brk + align_words - 1) / align_words * align_words in
+  if base + words > size_words t then failwith "out of simulated memory";
+  t.brk <- base + words;
+  base
+
+let get_real t w = Bigarray.Array1.get t.reals w
+let set_real t w v = Bigarray.Array1.set t.reals w v
+let get_int t w = Bigarray.Array1.get t.ints w
+let set_int t w v = Bigarray.Array1.set t.ints w v
+let byte_of_word w = w * word_bytes
+let word_of_byte b = b / word_bytes

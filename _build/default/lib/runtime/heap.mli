@@ -1,0 +1,33 @@
+(** The simulated shared virtual address space.
+
+    The machine simulator models timing and coherence only; the actual data
+    lives here, in two parallel word arrays (8-byte words): [reals] for
+    [real*8] values and [ints] for integer values and runtime metadata
+    (array descriptors, processor-pointer arrays). Word address [w]
+    corresponds to byte address [8*w] in the machine.
+
+    A simple bump allocator: the Fortran programs we run allocate everything
+    at startup and never free (common blocks and local arrays with program
+    lifetime), so no free list is needed. *)
+
+type t
+
+val word_bytes : int
+(** 8 — everything the simulated programs store is one 8-byte word. *)
+
+val create : words:int -> t
+val size_words : t -> int
+val used_words : t -> int
+
+val alloc : t -> words:int -> align_words:int -> int
+(** [alloc t ~words ~align_words] reserves [words] words aligned to
+    [align_words] and returns the first word address. Raises
+    [Failure "out of simulated memory"] when exhausted. *)
+
+val get_real : t -> int -> float
+val set_real : t -> int -> float -> unit
+val get_int : t -> int -> int
+val set_int : t -> int -> int -> unit
+
+val byte_of_word : int -> int
+val word_of_byte : int -> int

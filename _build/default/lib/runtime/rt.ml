@@ -1,0 +1,78 @@
+open Ddsm_machine
+
+type t = {
+  heap : Heap.t;
+  mem : Memsys.t;
+  pools : Pools.t;
+  argcheck : Argcheck.t;
+  arrays : (string, Darray.t) Hashtbl.t;
+  mutable redist_pages : int;
+  job_procs : int;
+}
+
+let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs () =
+  let heap = Heap.create ~words:heap_words in
+  let mem = Memsys.create cfg ~policy in
+  let job_procs =
+    match job_procs with
+    | None -> cfg.Config.nprocs
+    | Some j ->
+        if j < 1 || j > cfg.Config.nprocs then
+          invalid_arg "Rt.create: job_procs out of machine range";
+        j
+  in
+  {
+    heap;
+    mem;
+    pools = Pools.create heap mem ~slab_pages:pool_slab_pages;
+    argcheck = Argcheck.create ();
+    arrays = Hashtbl.create 64;
+    redist_pages = 0;
+    job_procs;
+  }
+
+let nprocs t = t.job_procs
+let page_words t = (Memsys.config t.mem).Config.page_bytes / Heap.word_bytes
+
+let register t (a : Darray.t) =
+  if Hashtbl.mem t.arrays a.Darray.name then
+    invalid_arg (Printf.sprintf "Rt: array %s already declared" a.Darray.name);
+  Hashtbl.replace t.arrays a.Darray.name a;
+  a
+
+let declare_plain t ~name ~elem ~extents ?lower () =
+  register t
+    (Darray.alloc_plain t.heap ~name ~elem ~extents ?lower
+       ~page_words:(page_words t) ())
+
+let declare_regular t ~name ~elem ~extents ?lower ~kinds ?onto () =
+  register t
+    (Darray.alloc_regular t.heap t.mem ~name ~elem ~extents ?lower ~kinds ?onto
+       ~nprocs:t.job_procs ())
+
+let declare_reshaped t ~name ~elem ~extents ?lower ~kinds ?onto () =
+  register t
+    (Darray.alloc_reshaped t.heap t.mem t.pools ~name ~elem ~extents ?lower
+       ~kinds ?onto ~nprocs:t.job_procs ())
+
+let redistribute t ~name ~kinds ?onto () =
+  match Hashtbl.find_opt t.arrays name with
+  | None -> Error (Printf.sprintf "redistribute: unknown array %s" name)
+  | Some a -> (
+      match Darray.redistribute a t.heap t.mem ~kinds ?onto ~nprocs:t.job_procs () with
+      | Ok moved ->
+          t.redist_pages <- t.redist_pages + moved;
+          Ok moved
+      | Error _ as e -> e)
+
+let find_array t name = Hashtbl.find_opt t.arrays name
+
+let read t ~addr ~elem =
+  match (elem : Darray.elem) with
+  | Darray.Real -> Heap.get_real t.heap addr
+  | Darray.Int -> float_of_int (Heap.get_int t.heap addr)
+
+let write t ~addr ~elem v =
+  match (elem : Darray.elem) with
+  | Darray.Real -> Heap.set_real t.heap addr v
+  | Darray.Int -> Heap.set_int t.heap addr (int_of_float v)

@@ -1,0 +1,57 @@
+(** The runtime-system context: one simulated machine plus heap, reshaped
+    storage pools, the argument-check table, and the array registry. This is
+    what the startup code elaborates distribution directives against and
+    what the VM threads through execution. *)
+
+open Ddsm_dist
+open Ddsm_machine
+
+type t = {
+  heap : Heap.t;
+  mem : Memsys.t;
+  pools : Pools.t;
+  argcheck : Argcheck.t;
+  arrays : (string, Darray.t) Hashtbl.t;
+  mutable redist_pages : int;  (** pages moved by redistribute calls *)
+  job_procs : int;
+      (** processors this job runs on (<= machine size): the paper runs
+          P-processor jobs on a fixed 128-processor Origin-2000 *)
+}
+
+val create :
+  Config.t -> policy:Pagetable.policy -> heap_words:int ->
+  ?pool_slab_pages:int -> ?job_procs:int -> unit -> t
+
+val nprocs : t -> int
+(** Job processor count (defaults to the machine size). *)
+
+val page_words : t -> int
+
+(** Allocation entry points used by program elaboration. Arrays are
+    registered by name; re-declaring a name is an error (the frontend
+    scopes names before reaching here). *)
+
+val declare_plain :
+  t -> name:string -> elem:Darray.elem -> extents:int array ->
+  ?lower:int array -> unit -> Darray.t
+
+val declare_regular :
+  t -> name:string -> elem:Darray.elem -> extents:int array ->
+  ?lower:int array -> kinds:Kind.t array -> ?onto:int array -> unit -> Darray.t
+
+val declare_reshaped :
+  t -> name:string -> elem:Darray.elem -> extents:int array ->
+  ?lower:int array -> kinds:Kind.t array -> ?onto:int array -> unit -> Darray.t
+
+val redistribute :
+  t -> name:string -> kinds:Kind.t array -> ?onto:int array -> unit ->
+  (int, string) result
+(** Returns migrated page count; the VM charges the migration cost. *)
+
+val find_array : t -> string -> Darray.t option
+
+val read : t -> addr:int -> elem:Darray.elem -> float
+(** Raw data read (no timing); integers are returned as floats for the VM's
+    untyped data path. *)
+
+val write : t -> addr:int -> elem:Darray.elem -> float -> unit

@@ -1,0 +1,1 @@
+lib/sema/intrinsics.ml: Float List String

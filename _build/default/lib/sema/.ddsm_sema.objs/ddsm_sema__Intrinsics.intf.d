@@ -1,0 +1,1 @@
+lib/sema/intrinsics.mli:

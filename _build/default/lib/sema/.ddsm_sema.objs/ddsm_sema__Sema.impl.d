@@ -1,0 +1,1 @@
+lib/sema/sema.ml: Array Ddsm_dist Ddsm_ir Decl Expr Format Hashtbl Intrinsics List Loc Option Printf Stmt String Types

@@ -1,0 +1,1 @@
+lib/sema/sema.mli: Ddsm_ir Decl Expr Hashtbl Stmt Types

@@ -1,0 +1,1 @@
+lib/transform/address.ml: Array Ddsm_dist Ddsm_ir Expr List Tctx

@@ -1,0 +1,1 @@
+lib/transform/address.mli: Ddsm_ir Expr Tctx

@@ -1,0 +1,1 @@
+lib/transform/cse.ml: Ddsm_ir Decl Expr Hashtbl Hoist List Option Stmt Tctx

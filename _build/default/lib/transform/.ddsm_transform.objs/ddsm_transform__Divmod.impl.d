@@ -1,0 +1,1 @@
+lib/transform/divmod.ml: Ddsm_ir Decl Expr List Stmt

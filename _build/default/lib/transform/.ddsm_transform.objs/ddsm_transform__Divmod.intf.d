@@ -1,0 +1,1 @@
+lib/transform/divmod.mli: Ddsm_ir

@@ -1,0 +1,1 @@
+lib/transform/flags.mli: Format

@@ -1,0 +1,1 @@
+lib/transform/hoist.ml: Ddsm_ir Decl Expr List Option Stmt Tctx

@@ -1,0 +1,1 @@
+lib/transform/hoist.mli: Ddsm_ir Tctx

@@ -1,0 +1,1 @@
+lib/transform/interchange.ml: Ddsm_ir Decl Expr List Stmt String

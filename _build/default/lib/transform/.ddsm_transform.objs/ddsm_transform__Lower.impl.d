@@ -1,0 +1,1 @@
+lib/transform/lower.ml: Address Array Ddsm_dist Ddsm_ir Ddsm_sema Decl Expr Flags Fun Hashtbl List Option Stmt Tctx

@@ -1,0 +1,1 @@
+lib/transform/lower.mli: Ddsm_ir Flags Tctx

@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Cse Ddsm_sema Divmod Flags Hoist Interchange Lower Tctx

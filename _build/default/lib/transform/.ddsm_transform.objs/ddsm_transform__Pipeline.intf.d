@@ -1,0 +1,1 @@
+lib/transform/pipeline.mli: Ddsm_ir Ddsm_sema Flags

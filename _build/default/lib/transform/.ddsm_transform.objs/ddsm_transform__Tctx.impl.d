@@ -1,0 +1,1 @@
+lib/transform/tctx.ml: Array Ddsm_dist Ddsm_ir Ddsm_sema Decl Expr Format Fresh Hashtbl List Option Stmt String Types

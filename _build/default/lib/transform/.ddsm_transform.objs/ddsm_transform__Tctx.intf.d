@@ -1,0 +1,1 @@
+lib/transform/tctx.mli: Ddsm_dist Ddsm_ir Ddsm_sema Types

@@ -1,0 +1,87 @@
+open Ddsm_ir
+module K = Ddsm_dist.Kind
+
+type bind = { bvar : string; bowner : Expr.t; bonly_n : int option }
+type binds = ((string * int) * bind) list
+
+let meta_block (a : Tctx.arr) ~dim = Expr.Meta (a.Tctx.name, Expr.Block dim)
+let meta_procs (a : Tctx.arr) ~dim = Expr.Meta (a.Tctx.name, Expr.Procs dim)
+let meta_stor (a : Tctx.arr) ~dim = Expr.Meta (a.Tctx.name, Expr.Stor dim)
+
+let cdiv_e a b =
+  Expr.Idiv (Expr.Hw, Expr.Bin (Expr.Add, a, Expr.Bin (Expr.Sub, b, Expr.Int 1)), b)
+
+let owner_expr (a : Tctx.arr) ~dim ~i0 =
+  match a.Tctx.kinds.(dim) with
+  | K.Star -> Expr.Int 0
+  | K.Block -> Expr.Idiv (Expr.Hw, i0, meta_block a ~dim)
+  | K.Cyclic -> Expr.Imod (Expr.Hw, i0, meta_procs a ~dim)
+  | K.Cyclic_k k ->
+      Expr.Imod (Expr.Hw, Expr.Idiv (Expr.Hw, i0, Expr.Int k), meta_procs a ~dim)
+
+let offset_expr (a : Tctx.arr) ~dim ~i0 =
+  match a.Tctx.kinds.(dim) with
+  | K.Star -> i0
+  | K.Block -> Expr.Imod (Expr.Hw, i0, meta_block a ~dim)
+  | K.Cyclic -> Expr.Idiv (Expr.Hw, i0, meta_procs a ~dim)
+  | K.Cyclic_k k ->
+      Expr.Bin
+        ( Expr.Add,
+          Expr.Bin
+            ( Expr.Mul,
+              Expr.Idiv
+                ( Expr.Hw,
+                  i0,
+                  Expr.Bin (Expr.Mul, Expr.Int k, meta_procs a ~dim) ),
+              Expr.Int k ),
+          Expr.Imod (Expr.Hw, i0, Expr.Int k) )
+
+(* owner and offset for one dimension, honouring a binding when the
+   subscript is affine (s=1) in the bound variable *)
+let dim_parts (a : Tctx.arr) binds ~dim ~sub =
+  let i0 = Expr.Bin (Expr.Sub, sub, Expr.Int a.Tctx.lowers.(dim)) in
+  let general () = (owner_expr a ~dim ~i0, offset_expr a ~dim ~i0) in
+  match List.assoc_opt (a.Tctx.group, dim) binds with
+  | None -> general ()
+  | Some { bvar; bowner; bonly_n } -> (
+      match Expr.affine_in bvar (Expr.simplify sub) with
+      | Some (1, c)
+        when bonly_n = None || bonly_n = Some (c - a.Tctx.lowers.(dim)) ->
+          (* strength-reduced: owner pinned; offset = v + c - lower - o*b *)
+          let off =
+            Expr.Bin
+              ( Expr.Sub,
+                Expr.Bin
+                  ( Expr.Add,
+                    Expr.Var bvar,
+                    Expr.Int (c - a.Tctx.lowers.(dim)) ),
+                Expr.Bin (Expr.Mul, bowner, meta_block a ~dim) )
+          in
+          (bowner, off)
+      | _ -> general ())
+
+let address (a : Tctx.arr) binds ~subs =
+  let nd = Array.length a.Tctx.kinds in
+  if List.length subs <> nd then invalid_arg "Address.address: rank mismatch";
+  let parts =
+    List.mapi (fun dim sub -> dim_parts a binds ~dim ~sub) subs
+  in
+  let owners = List.map fst parts and offs = List.map snd parts in
+  (* Horner, first dimension fastest: o0 + P0*(o1 + P1*(o2 + ...)) *)
+  let horner terms strides =
+    match List.rev (List.combine terms strides) with
+    | [] -> Expr.Int 0
+    | (last, _) :: rest ->
+        List.fold_left
+          (fun acc (t, stride) -> Expr.Bin (Expr.Add, t, Expr.Bin (Expr.Mul, stride, acc)))
+          last rest
+  in
+  let proc_strides =
+    List.init nd (fun d ->
+        (* a '*' dimension statically contributes stride 1 *)
+        if a.Tctx.kinds.(d) = K.Star then Expr.Int 1 else meta_procs a ~dim:d)
+  in
+  let stor_strides = List.init nd (fun d -> meta_stor a ~dim:d) in
+  let linear_owner = Expr.simplify (horner owners proc_strides) in
+  let local_linear = Expr.simplify (horner offs stor_strides) in
+  Expr.Bin (Expr.Add, Expr.BaseOf (a.Tctx.name, linear_owner), local_linear)

@@ -1,0 +1,11 @@
+(** §7.2 common-subexpression elimination across reshaped index expressions.
+
+    Works block-by-block (statement lists): repeated occurrences of pure,
+    expensive subexpressions — those containing descriptor loads, base
+    pointer loads, or div/mod — are computed once into a temporary, as long
+    as no intervening statement assigns one of their inputs. Because
+    descriptor fields are constant after start-up ("we solved this problem
+    by marking such variables as constant", §7.2) and scalar arguments are
+    passed by value, [call] statements do not kill availability. *)
+
+val routine : Tctx.t -> Ddsm_ir.Decl.routine -> Ddsm_ir.Decl.routine

@@ -1,0 +1,10 @@
+open Ddsm_ir
+
+let rewrite =
+  Expr.map (function
+    | Expr.Idiv (Expr.Hw, a, b) -> Expr.Idiv (Expr.Fp, a, b)
+    | Expr.Imod (Expr.Hw, a, b) -> Expr.Imod (Expr.Fp, a, b)
+    | e -> e)
+
+let routine (r : Decl.routine) =
+  { r with Decl.rbody = List.map (Stmt.map_exprs rewrite) r.Decl.rbody }

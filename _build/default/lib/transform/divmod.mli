@@ -1,0 +1,9 @@
+(** §7.3: simulate integer divide/modulo in software using the
+    floating-point unit. "While an integer divide takes about 35 cycles on
+    the MIPS R10000 processor and is not pipelined, the corresponding
+    floating-point operation takes 11 cycles." The pass switches every
+    compiler-generated [Idiv]/[Imod] to the FP implementation; the VM's
+    cost model charges 11 instead of 35 cycles. User-level integer division
+    ([a/b] in source) is not affected. *)
+
+val routine : Ddsm_ir.Decl.routine -> Ddsm_ir.Decl.routine

@@ -1,0 +1,40 @@
+type t = {
+  tile : bool;
+  peel : bool;
+  skew : bool;
+  hoist : bool;
+  cse : bool;
+  fp_divmod : bool;
+  interchange : bool;
+}
+
+let all_on =
+  {
+    tile = true;
+    peel = true;
+    skew = true;
+    hoist = true;
+    cse = true;
+    fp_divmod = true;
+    interchange = true;
+  }
+
+let all_off =
+  {
+    tile = false;
+    peel = false;
+    skew = false;
+    hoist = false;
+    cse = false;
+    fp_divmod = false;
+    interchange = false;
+  }
+
+let tile_peel = { all_off with tile = true; peel = true; skew = true }
+let tile_peel_hoist = { tile_peel with hoist = true; cse = true; interchange = true }
+
+let pp ppf t =
+  let b name v = if v then name else "no-" ^ name in
+  Format.fprintf ppf "[%s %s %s %s %s %s %s]" (b "tile" t.tile) (b "peel" t.peel)
+    (b "skew" t.skew) (b "hoist" t.hoist) (b "cse" t.cse) (b "fpdiv" t.fp_divmod)
+    (b "interchange" t.interchange)

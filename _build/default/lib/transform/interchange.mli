@@ -1,0 +1,13 @@
+(** §7.1.1 loop interchange: move processor-tile loops (the [ptile$N] loops
+    created by serial tiling) outward across enclosing data loops, so that
+    descriptor loads and owner computations that depend only on the tile
+    index can be hoisted out of the data loops.
+
+    Interchange reorders iterations, which "is always legal for parallel
+    loops within the doacross-nest directive but subject to the same
+    legality constraints as normal loop interchange for sequential loops";
+    without a dependence analyser, the pass therefore only fires inside
+    [Par] regions, where the doacross semantics declare iterations
+    independent. *)
+
+val routine : Ddsm_ir.Decl.routine -> Ddsm_ir.Decl.routine

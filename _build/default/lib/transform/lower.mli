@@ -1,0 +1,19 @@
+(** The central lowering pass: affinity scheduling of [c$doacross] loops
+    (§4.1, Figure 2), loop tiling and peeling for reshaped arrays (§7.1),
+    and transformation of reshaped array references (§4.3, Table 1).
+
+    Scheduling always runs — it is the semantics of the directives. The
+    strength reduction of reshaped references inside scheduled/tiled loops
+    and the creation of serial processor-tile loops are controlled by
+    {!Flags.t.tile}; boundary-iteration peeling by {!Flags.t.peel}.
+
+    After this pass the routine contains no [Doacross] statements (they
+    become [Par] regions) and every reshaped array reference outside call
+    arguments has been lowered to [AbsLoad]/[AbsStore] address arithmetic.
+    Reshaped whole-array or element arguments in [call] statements keep
+    their [Ref]/[Var] form — the VM implements the pass-by-reference
+    convention (charging the unoptimized addressing cost for element
+    arguments). *)
+
+val routine :
+  Tctx.t -> Flags.t -> Ddsm_ir.Decl.routine -> Ddsm_ir.Decl.routine

@@ -1,0 +1,16 @@
+(** The §7.4 pass manager. Order of optimizations:
+
+    + loop scheduling, tiling, interchange and peeling for reshaped arrays
+      ({!Lower}, {!Interchange});
+    + transformation of reshaped array references, with hoisting of
+      indirect loads and div/mod operations ({!Hoist});
+    + CSE across index expressions of reshaped arrays ({!Cse});
+    + div/mod through the floating-point unit ({!Divmod}).
+
+    (The regular loop-nest optimizer of step 2 in the paper — fusion, cache
+    and register tiling — targets single-processor micro-architecture
+    effects outside this reproduction's cost model and is omitted; see
+    DESIGN.md.) *)
+
+val run : Flags.t -> Ddsm_sema.Sema.env -> Ddsm_ir.Decl.routine
+(** Lower and optimize one analysed routine. *)

@@ -1,0 +1,38 @@
+(** Per-routine transformation context: the distilled array facts the
+    lowering passes need, plus the fresh-name supply. *)
+
+open Ddsm_ir
+
+type arr = {
+  name : string;
+  kinds : Ddsm_dist.Kind.t array;
+  reshape : bool;
+  lowers : int array;  (** constant lower bounds (reshaped codegen needs them) *)
+  extents : int array option;  (** constant extents when known *)
+  ty : Types.ty;
+  group : string;
+      (** arrays with equal [group] keys have identical distribution and
+          shape, so they can share loop tiling (§7.1: "other reshaped arrays
+          that match the first array in size and distribution") *)
+}
+
+type t
+
+val create : Ddsm_sema.Sema.env -> t
+
+val is_dynamic : t -> string -> bool
+(** The array is the target of a [c$redistribute] somewhere in the routine,
+    so its distribution kind is not a compile-time constant and affinity
+    scheduling must use the kind-generic guarded form. *)
+
+val fresh : t -> string -> string
+val env : t -> Ddsm_sema.Sema.env
+
+val distributed : t -> string -> arr option
+(** Info for any distributed array (regular or reshaped). *)
+
+val reshaped : t -> string -> arr option
+(** Info only when the array is reshaped. *)
+
+val elem_ty : t -> string -> Types.ty
+(** Element type of a declared array (defaults to real for unknowns). *)

@@ -1,0 +1,1 @@
+test/test_dist.ml: Affinity Alcotest Array Ddsm_dist Dim_map Format Fun Grid Hashtbl Intmath Kind Layout List Printf QCheck QCheck_alcotest

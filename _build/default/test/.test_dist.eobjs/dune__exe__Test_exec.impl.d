@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Ddsm_exec Ddsm_frontend Ddsm_ir Ddsm_machine Ddsm_runtime Ddsm_sema Ddsm_transform Decl Engine Flags List Parser Pipeline Printf Prog Sema String

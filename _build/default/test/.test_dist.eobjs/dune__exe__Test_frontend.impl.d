@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ddsm_dist Ddsm_frontend Ddsm_ir Decl Expr Format Lexer List Option Parser Stmt String Token

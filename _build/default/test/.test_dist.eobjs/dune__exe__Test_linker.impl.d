@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Ddsm_dist Ddsm_exec Ddsm_frontend Ddsm_linker Ddsm_machine Ddsm_runtime Ddsm_sema Engine Filename List Objfile Parser Prelink Printf Prog Shadow Sig_ String Sys Unix

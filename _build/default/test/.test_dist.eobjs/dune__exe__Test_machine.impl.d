@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bitset Cache Config Counters Ddsm_machine Directory Hashtbl List Memsys Pagetable Printf QCheck QCheck_alcotest Result Tlb Topology

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Ddsm_dist Ddsm_exec Ddsm_frontend Ddsm_ir Ddsm_machine Ddsm_runtime Ddsm_sema Ddsm_transform Engine Flags List Parser Pipeline Printf Prog QCheck Random Sema String

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ddsm_core Ddsm_machine Ddsm_report Filename Format List Result Series Stats String Sys

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Argcheck Config Darray Ddsm_dist Ddsm_machine Ddsm_runtime Gen Hashtbl Heap Kind Layout List Memsys Option Pagetable Pools Printf QCheck QCheck_alcotest Result Rt

@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Ddsm_frontend Ddsm_ir Ddsm_sema Decl Expr Format List Option Parser Sema Stmt String Types

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ddsm_frontend Ddsm_ir Ddsm_sema Ddsm_transform Decl Expr Flags List Parser Pipeline Sema Stmt String

@@ -1,0 +1,494 @@
+(* Tests for the shadow-file / pre-linker machinery (paper §5) and the
+   link-time common-block checks (§6): signatures, cloning, propagation down
+   call chains, and end-to-end execution of linked multi-file programs. *)
+
+open Ddsm_frontend
+open Ddsm_linker
+open Ddsm_exec
+module K = Ddsm_dist.Kind
+module Sema = Ddsm_sema.Sema
+module Config = Ddsm_machine.Config
+module Pagetable = Ddsm_machine.Pagetable
+module Rt = Ddsm_runtime.Rt
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let parse name src =
+  match Parser.parse_file ~fname:name src with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "parse %s: %s" name e
+
+let obj ?flags name src =
+  match Objfile.compile ?flags (parse name src) with
+  | Ok o -> o
+  | Error es -> Alcotest.failf "compile %s: %s" name (String.concat "; " es)
+
+let link_ok objs =
+  match Prelink.link objs with
+  | Ok l -> l
+  | Error es -> Alcotest.failf "link: %s" (String.concat "; " es)
+
+let link_err ~expect objs =
+  match Prelink.link objs with
+  | Ok _ -> Alcotest.failf "expected link error mentioning %S" expect
+  | Error es ->
+      let has_sub s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool
+        (Printf.sprintf "errors %s mention %S" (String.concat ";" es) expect)
+        true
+        (List.exists (fun e -> has_sub e expect) es)
+
+let run_linked ?(nprocs = 4) l =
+  let routines =
+    List.map (fun (n, env, code) -> (n, { Prog.env; code })) l.Prelink.routines
+  in
+  let prog = Prog.create routines ~main:l.Prelink.main in
+  let cfg = Config.scaled ~nprocs () in
+  let rt = Rt.create cfg ~policy:Pagetable.First_touch ~heap_words:(1 lsl 20) () in
+  match Engine.run prog ~rt ~bounds:true () with
+  | Ok o -> String.concat "\n" o.Engine.prints
+  | Error m -> Alcotest.failf "run: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Signatures *)
+
+let test_sig_roundtrip () =
+  let sigs : Sig_.t list =
+    [
+      [];
+      [ None; None ];
+      [ Some { Sig_.kinds = [ K.Block; K.Star ]; onto = None }; None ];
+      [ Some { Sig_.kinds = [ K.Cyclic_k 5 ]; onto = None } ];
+      [ Some { Sig_.kinds = [ K.Block; K.Block ]; onto = Some [ 2; 1 ] } ];
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Sig_.of_string (Sig_.to_string s) with
+      | Ok s' -> check_bool (Sig_.to_string s) true (Sig_.equal s s')
+      | Error e -> Alcotest.fail e)
+    sigs;
+  check_bool "trivial" true (Sig_.is_trivial [ None; None ]);
+  check_str "trivial mangle unchanged" "f" (Sig_.mangle "f" [ None ]);
+  let m =
+    Sig_.mangle "f" [ Some { Sig_.kinds = [ K.Block; K.Star ]; onto = None } ]
+  in
+  check_bool "mangled distinct" true (m <> "f");
+  let m2 =
+    Sig_.mangle "f" [ Some { Sig_.kinds = [ K.Cyclic; K.Star ]; onto = None } ]
+  in
+  check_bool "different dists mangle differently" true (m <> m2)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow files *)
+
+let test_shadow_roundtrip () =
+  let s = Shadow.empty () in
+  Shadow.add_def s "main" [];
+  Shadow.add_def s "sub" [ None; None ];
+  Shadow.add_call s "sub" [ Some { Sig_.kinds = [ K.Block ]; onto = None }; None ];
+  Shadow.add_request s "sub" [ Some { Sig_.kinds = [ K.Block ]; onto = None }; None ];
+  Shadow.add_common s ~block:"blk" ~routine:"main"
+    [
+      { Shadow.cm_name = "a"; cm_offset = 0; cm_shape = [ 10; 10 ];
+        cm_dist = Some { Sig_.kinds = [ K.Block; K.Star ]; onto = None } };
+      { Shadow.cm_name = "b"; cm_offset = 100; cm_shape = [ 50 ]; cm_dist = None };
+    ];
+  match Shadow.of_string (Shadow.to_string s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+      check_int "defs" 2 (List.length s'.Shadow.defs);
+      check_int "calls" 1 (List.length s'.Shadow.calls);
+      check_int "requests" 1 (List.length s'.Shadow.requests);
+      check_int "commons" 1 (List.length s'.Shadow.commons);
+      let _, _, ms = List.hd s'.Shadow.commons in
+      check_int "members" 2 (List.length ms);
+      check_bool "reshaped member dist survives" true
+        ((List.hd ms).Shadow.cm_dist <> None)
+
+let test_shadow_file_io () =
+  let dir = Filename.temp_file "ddsm" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let s = Shadow.empty () in
+  Shadow.add_def s "f" [];
+  let path = Filename.concat dir "x.pfs" in
+  Shadow.save s ~path;
+  (match Shadow.load ~path with
+  | Ok s' -> check_int "defs" 1 (List.length s'.Shadow.defs)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Objfile *)
+
+let lib_src =
+  {|
+      subroutine daxpy(x, y, n, f)
+      integer n
+      real*8 x(n), y(n), f
+      integer k
+      do k = 1, n
+        y(k) = y(k) + f * x(k)
+      enddo
+      end
+|}
+
+let main_src =
+  {|
+      program p
+      integer n, i
+      parameter (n = 128)
+      real*8 a(n), b(n), s
+c$distribute_reshape a(block), b(block)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = 1.0
+        b(i) = i
+      enddo
+      call daxpy(a, b, n, 2.0)
+      s = 0.0
+      do i = 1, n
+        s = s + b(i)
+      enddo
+      print *, s
+      end
+|}
+
+let test_objfile_shadow_contents () =
+  let o = obj "main.pf" main_src in
+  let s = o.Objfile.shadow in
+  check_bool "def main" true (List.mem_assoc "p" s.Shadow.defs);
+  (* the call passes two whole reshaped arrays *)
+  (match s.Shadow.calls with
+  | [ ("daxpy", sg) ] ->
+      check_bool "two reshaped args" true
+        (match sg with
+        | [ Some _; Some _; None; None ] -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "expected one recorded call");
+  check_int "no requests yet" 0 (List.length s.Shadow.requests)
+
+let test_objfile_save_load () =
+  let dir = Filename.temp_file "ddsm" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let o = obj "main.pf" main_src in
+  let path = Filename.concat dir "main.pfo" in
+  Objfile.save o ~path;
+  check_bool "shadow written alongside" true
+    (Sys.file_exists (Filename.concat dir "main.pfs"));
+  (match Objfile.load ~path with
+  | Ok o' ->
+      check_int "units preserved" (List.length o.Objfile.units)
+        (List.length o'.Objfile.units)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  Sys.remove (Filename.concat dir "main.pfs");
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Pre-linker: cloning *)
+
+let test_clone_created_and_runs () =
+  let l = link_ok [ obj "main.pf" main_src; obj "lib.pf" lib_src ] in
+  check_int "one clone" 1 (List.length l.Prelink.clones);
+  let orig, clone = List.hd l.Prelink.clones in
+  check_str "of daxpy" "daxpy" orig;
+  check_bool "mangled name" true (clone <> "daxpy");
+  check_bool "clone linked" true
+    (List.exists (fun (n, _, _) -> n = clone) l.Prelink.routines);
+  check_bool "recompilation counted" true (l.Prelink.recompilations >= 1);
+  (* b(k) = k + 2*1 summed over 1..128 = 8256 + 256 = 8512 *)
+  check_str "linked program computes correctly" "8512" (run_linked l)
+
+let test_two_distributions_two_clones () =
+  let main2 =
+    {|
+      program p
+      integer n, i
+      parameter (n = 60)
+      real*8 a(n), b(n), c(n), d(n), s
+c$distribute_reshape a(block), b(block)
+c$distribute_reshape c(cyclic), d(cyclic)
+      do i = 1, n
+        a(i) = 1.0
+        b(i) = 0.0
+        c(i) = 2.0
+        d(i) = 0.0
+      enddo
+      call daxpy(a, b, n, 3.0)
+      call daxpy(c, d, n, 5.0)
+      s = 0.0
+      do i = 1, n
+        s = s + b(i) + d(i)
+      enddo
+      print *, s
+      end
+|}
+  in
+  let l = link_ok [ obj "main.pf" main2; obj "lib.pf" lib_src ] in
+  check_int "two distinct clones" 2 (List.length l.Prelink.clones);
+  (* 60*3 + 60*10 = 780 *)
+  check_str "both clones compute" "780" (run_linked l)
+
+let test_propagation_down_chain () =
+  (* main -> outer -> inner: the reshape directive propagates two levels *)
+  let chain =
+    {|
+      subroutine inner(x, n)
+      integer n
+      real*8 x(n)
+      integer k
+      do k = 1, n
+        x(k) = x(k) + 1.0
+      enddo
+      end
+
+      subroutine outer(x, n)
+      integer n
+      real*8 x(n)
+      call inner(x, n)
+      call inner(x, n)
+      end
+|}
+  in
+  let main3 =
+    {|
+      program p
+      integer n, i
+      parameter (n = 64)
+      real*8 a(n), s
+c$distribute_reshape a(block)
+      do i = 1, n
+        a(i) = 0.0
+      enddo
+      call outer(a, n)
+      s = 0.0
+      do i = 1, n
+        s = s + a(i)
+      enddo
+      print *, s
+      end
+|}
+  in
+  let l = link_ok [ obj "main.pf" main3; obj "chain.pf" chain ] in
+  check_int "clones of outer and inner" 2 (List.length l.Prelink.clones);
+  check_bool "both originals cloned" true
+    (List.mem "outer" (List.map fst l.Prelink.clones)
+    && List.mem "inner" (List.map fst l.Prelink.clones));
+  check_str "propagated execution" "128" (run_linked l)
+
+let test_same_signature_shares_clone () =
+  let main4 =
+    {|
+      program p
+      integer n, i
+      parameter (n = 40)
+      real*8 a(n), b(n), s
+c$distribute_reshape a(block), b(block)
+      do i = 1, n
+        a(i) = 1.0
+        b(i) = 1.0
+      enddo
+      call bump(a, n)
+      call bump(b, n)
+      s = 0.0
+      do i = 1, n
+        s = s + a(i) + b(i)
+      enddo
+      print *, s
+      end
+
+      subroutine bump(x, n)
+      integer n
+      real*8 x(n)
+      integer k
+      do k = 1, n
+        x(k) = x(k) * 2.0
+      enddo
+      end
+|}
+  in
+  let l = link_ok [ obj "main.pf" main4 ] in
+  check_int "one shared clone for both call sites" 1 (List.length l.Prelink.clones);
+  check_str "result" "160" (run_linked l)
+
+(* ------------------------------------------------------------------ *)
+(* Link-time errors *)
+
+let test_clone_with_onto_signature () =
+  (* the onto clause is part of the distribution signature: two calls with
+     different onto grids need two clones *)
+  let src =
+    {|
+      program p
+      integer i, j
+      real*8 a(16, 16), b(16, 16), s
+c$distribute_reshape a(block, block) onto(2, 1)
+c$distribute_reshape b(block, block) onto(1, 2)
+      do j = 1, 16
+        do i = 1, 16
+          a(i, j) = 1.0
+          b(i, j) = 2.0
+        enddo
+      enddo
+      call halve(a)
+      call halve(b)
+      s = 0.0
+      do j = 1, 16
+        do i = 1, 16
+          s = s + a(i, j) + b(i, j)
+        enddo
+      enddo
+      print *, s
+      end
+
+      subroutine halve(x)
+      real*8 x(16, 16)
+      integer i, j
+      do j = 1, 16
+        do i = 1, 16
+          x(i, j) = x(i, j) / 2.0
+        enddo
+      enddo
+      end
+|}
+  in
+  let l = link_ok [ obj "p.pf" src ] in
+  check_int "two clones (onto differs)" 2 (List.length l.Prelink.clones);
+  (* 256 * (0.5 + 1.0) = 384 *)
+  check_str "result" "384" (run_linked ~nprocs:8 l)
+
+let test_stale_request_pruned () =
+  (* a request left in the shadow by a previous link whose call site has
+     been removed must be dropped (§5) *)
+  let lib = obj "lib.pf" lib_src in
+  let stale_sig : Sig_.t =
+    [ Some { Sig_.kinds = [ K.Cyclic ]; onto = None }; None; None; None ]
+  in
+  Shadow.add_request lib.Objfile.shadow "daxpy" stale_sig;
+  let main = obj "main.pf" main_src in
+  let _ = link_ok [ main; lib ] in
+  check_bool "stale request removed" true
+    (not (List.mem ("daxpy", stale_sig) lib.Objfile.shadow.Shadow.requests))
+
+let test_unresolved_routine () =
+  link_err ~expect:"unresolved"
+    [ obj "main.pf" "      program p\n      call nowhere(1)\n      end\n" ]
+
+let test_no_or_multiple_mains () =
+  link_err ~expect:"no program unit" [ obj "lib.pf" lib_src ];
+  link_err ~expect:"multiple program units"
+    [
+      obj "a.pf" "      program p1\n      print *, 1\n      end\n";
+      obj "b.pf" "      program p2\n      print *, 2\n      end\n";
+    ]
+
+let test_duplicate_routine () =
+  link_err ~expect:"more than one file"
+    [ obj "a.pf" lib_src; obj "b.pf" lib_src;
+      obj "m.pf" "      program p\n      print *, 0\n      end\n" ]
+
+let common_decl =
+  Printf.sprintf
+    {|
+      subroutine user%s
+      real*8 v(100)
+      common /shared/ v
+c$distribute_reshape v(%s)
+      v(1) = 1.0
+      end
+|}
+
+let test_common_consistency () =
+  (* consistent reshaped commons across files link fine *)
+  let a = common_decl "1" "block"
+  and b = common_decl "2" "block"
+  and m = "      program p\n      call user1\n      call user2\n      end\n" in
+  ignore (link_ok [ obj "a.pf" a; obj "b.pf" b; obj "m.pf" m ]);
+  (* inconsistent distribution of a reshaped common member is flagged *)
+  let b_bad = common_decl "2" "cyclic" in
+  link_err ~expect:"inconsistent"
+    [ obj "a.pf" a; obj "b.pf" b_bad; obj "m.pf" m ]
+
+let test_common_shape_mismatch () =
+  let a = common_decl "1" "block" in
+  let b_bad =
+    {|
+      subroutine user2
+      real*8 v(50)
+      common /shared/ v
+c$distribute_reshape v(block)
+      v(1) = 1.0
+      end
+|}
+  in
+  let m = "      program p\n      call user1\n      call user2\n      end\n" in
+  link_err ~expect:"declared"
+    [ obj "a.pf" a; obj "b.pf" b_bad; obj "m.pf" m ]
+
+let test_plain_common_mismatch_tolerated () =
+  (* §6: "common blocks without reshaped arrays are not affected" *)
+  let a =
+    {|
+      subroutine user1
+      real*8 v(100)
+      common /shared/ v
+      v(1) = 1.0
+      end
+|}
+  in
+  let b =
+    {|
+      subroutine user2
+      real*8 v(100)
+      common /shared/ v
+      v(2) = 2.0
+      end
+|}
+  in
+  let m = "      program p\n      call user1\n      call user2\n      end\n" in
+  ignore (link_ok [ obj "a.pf" a; obj "b.pf" b; obj "m.pf" m ])
+
+let () =
+  Alcotest.run "linker"
+    [
+      ( "signatures",
+        [ Alcotest.test_case "roundtrip & mangling" `Quick test_sig_roundtrip ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "text roundtrip" `Quick test_shadow_roundtrip;
+          Alcotest.test_case "file io" `Quick test_shadow_file_io;
+        ] );
+      ( "objfile",
+        [
+          Alcotest.test_case "shadow contents" `Quick test_objfile_shadow_contents;
+          Alcotest.test_case "save/load" `Quick test_objfile_save_load;
+        ] );
+      ( "cloning",
+        [
+          Alcotest.test_case "clone created & runs" `Quick test_clone_created_and_runs;
+          Alcotest.test_case "two distributions, two clones" `Quick test_two_distributions_two_clones;
+          Alcotest.test_case "propagation down the chain" `Quick test_propagation_down_chain;
+          Alcotest.test_case "shared clone" `Quick test_same_signature_shares_clone;
+        ] );
+      ( "link errors",
+        [
+          Alcotest.test_case "unresolved routine" `Quick test_unresolved_routine;
+          Alcotest.test_case "stale requests pruned" `Quick test_stale_request_pruned;
+          Alcotest.test_case "onto in clone signature" `Quick test_clone_with_onto_signature;
+          Alcotest.test_case "program unit count" `Quick test_no_or_multiple_mains;
+          Alcotest.test_case "duplicate routine" `Quick test_duplicate_routine;
+          Alcotest.test_case "reshaped common consistency" `Quick test_common_consistency;
+          Alcotest.test_case "reshaped common shape" `Quick test_common_shape_mismatch;
+          Alcotest.test_case "plain commons tolerated" `Quick test_plain_common_mismatch_tolerated;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the reporting library and the core facade (public pipeline). *)
+
+open Ddsm_report
+module Ddsm = Ddsm_core.Ddsm
+module C = Ddsm_machine.Counters
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let has_sub s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let test_series_speedup () =
+  let s = Series.speedup ~baseline:100.0 ~label:"v" [ (1, 100.0); (2, 50.0); (4, 20.0) ] in
+  let ys = List.map (fun p -> p.Series.y) s.Series.points in
+  Alcotest.(check (list (float 1e-9))) "speedups" [ 1.0; 2.0; 5.0 ] ys
+
+let test_series_table_chart () =
+  let a = Series.make ~label:"a" [ (1, 1.0); (2, 2.0) ] in
+  let b = Series.make ~label:"b" [ (1, 1.0); (4, 3.0) ] in
+  let table = Format.asprintf "%a" (fun ppf -> Series.pp_table ~xlabel:"p" ppf) [ a; b ] in
+  check_bool "table mentions both labels" true
+    (String.length table > 0
+    && has_sub table "a" && has_sub table "b"
+    && has_sub table "-" (* missing point *));
+  let chart =
+    Format.asprintf "%a" (fun ppf -> Series.pp_chart ~ideal:true ~xlabel:"p" ppf) [ a; b ]
+  in
+  check_bool "chart has legend" true (has_sub chart "linear speedup")
+
+let test_crossover () =
+  let a = Series.make ~label:"a" [ (1, 1.0); (2, 1.0); (4, 5.0); (8, 9.0) ] in
+  let b = Series.make ~label:"b" [ (1, 2.0); (2, 2.0); (4, 3.0); (8, 4.0) ] in
+  (match Series.crossovers a b with
+  | Some (x, _) -> check_int "a overtakes b at 4" 4 x
+  | None -> Alcotest.fail "expected a crossover");
+  check_bool "b never overtakes a after 4" true (Series.crossovers b a = None)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats () =
+  let c = C.create () in
+  c.C.loads <- 80;
+  c.C.stores <- 20;
+  c.C.l1_misses <- 10;
+  c.C.l2_misses <- 5;
+  c.C.local_fills <- 4;
+  c.C.remote_fills <- 1;
+  c.C.tlb_stall_cycles <- 25;
+  c.C.mem_stall_cycles <- 100;
+  let s = Stats.of_counters c in
+  check_int "accesses" 100 s.Stats.accesses;
+  Alcotest.(check (float 1e-9)) "l1 rate" 0.1 s.Stats.l1_miss_rate;
+  Alcotest.(check (float 1e-9)) "local fraction" 0.8 s.Stats.local_fill_fraction;
+  Alcotest.(check (float 1e-9)) "tlb fraction" 0.25 s.Stats.tlb_stall_fraction;
+  check_bool "pp works" true (String.length (Format.asprintf "%a" Stats.pp s) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Core facade *)
+
+let demo =
+  {|
+      program demo
+      integer n, i
+      parameter (n = 64)
+      real*8 a(n), s
+c$distribute_reshape a(block)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = i
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + a(i)
+      enddo
+      print *, s
+      end
+|}
+
+let test_run_source () =
+  match Ddsm.run_source ~nprocs:4 demo with
+  | Ok o ->
+      Alcotest.(check (list string)) "prints" [ "2080" ] o.Ddsm.Engine.prints;
+      check_bool "cycles positive" true (o.Ddsm.Engine.cycles > 0)
+  | Error e -> Alcotest.fail e
+
+let test_run_source_reports_errors () =
+  check_bool "parse error surfaces" true
+    (Result.is_error (Ddsm.run_source "      program p\n      x = \n      end\n"));
+  check_bool "sema error surfaces" true
+    (Result.is_error (Ddsm.run_source "      program p\n      x = 1\n      end\n"))
+
+let test_staged_pipeline_and_image () =
+  let obj =
+    match Ddsm.compile_source ~fname:"demo.pf" demo with
+    | Ok o -> o
+    | Error es -> Alcotest.failf "compile: %s" (String.concat ";" es)
+  in
+  let prog, linked =
+    match Ddsm.link [ obj ] with
+    | Ok x -> x
+    | Error es -> Alcotest.failf "link: %s" (String.concat ";" es)
+  in
+  (* save / reload the image and run both *)
+  let path = Filename.temp_file "ddsm" ".pfi" in
+  Ddsm.save_image linked ~path;
+  let linked' =
+    match Ddsm.load_image ~path with
+    | Ok l -> l
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  let run prog =
+    let rt = Ddsm.make_rt ~nprocs:4 () in
+    match Ddsm.run prog ~rt () with
+    | Ok o -> o.Ddsm.Engine.prints
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (list string)) "direct" [ "2080" ] (run prog);
+  Alcotest.(check (list string)) "via image" [ "2080" ]
+    (run (Ddsm.prog_of_linked linked'))
+
+let test_machine_presets () =
+  (* origin vs scaled machines both run the program; job smaller than
+     machine is the paper's setup *)
+  List.iter
+    (fun machine ->
+      match Ddsm.run_source ~machine ~machine_procs:16 ~nprocs:4 demo with
+      | Ok o -> Alcotest.(check (list string)) "result" [ "2080" ] o.Ddsm.Engine.prints
+      | Error e -> Alcotest.fail e)
+    [ Ddsm.Origin2000; Ddsm.Scaled 64; Ddsm.Scaled 256 ]
+
+let test_determinism () =
+  let cycles () =
+    match Ddsm.run_source ~nprocs:8 demo with
+    | Ok o -> o.Ddsm.Engine.cycles
+    | Error e -> Alcotest.fail e
+  in
+  check_int "two identical runs, identical cycles" (cycles ()) (cycles ())
+
+let () =
+  Alcotest.run "report+core"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "speedup conversion" `Quick test_series_speedup;
+          Alcotest.test_case "table & chart" `Quick test_series_table_chart;
+          Alcotest.test_case "crossover detection" `Quick test_crossover;
+        ] );
+      ("stats", [ Alcotest.test_case "derived metrics" `Quick test_stats ]);
+      ( "core",
+        [
+          Alcotest.test_case "run_source" `Quick test_run_source;
+          Alcotest.test_case "error propagation" `Quick test_run_source_reports_errors;
+          Alcotest.test_case "staged pipeline & image io" `Quick test_staged_pipeline_and_image;
+          Alcotest.test_case "machine presets" `Quick test_machine_presets;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+    ]

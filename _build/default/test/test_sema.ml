@@ -1,0 +1,405 @@
+(* Tests for semantic analysis: symbol resolution, directive legality,
+   compile-time error detection (paper §6). *)
+
+open Ddsm_ir
+open Ddsm_frontend
+open Ddsm_sema
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let analyse ?allow_formal_dists src =
+  match Parser.parse_file ~fname:"t.pf" src with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok f -> Sema.analyse_file ?allow_formal_dists f
+
+let analyse_ok ?allow_formal_dists src =
+  match analyse ?allow_formal_dists src with
+  | Ok envs -> envs
+  | Error es -> Alcotest.failf "unexpected sema errors: %s" (String.concat "; " es)
+
+let analyse_err ?allow_formal_dists ~expect src =
+  match analyse ?allow_formal_dists src with
+  | Ok _ -> Alcotest.failf "expected a sema error mentioning %S" expect
+  | Error es ->
+      let found =
+        List.exists
+          (fun e ->
+            let rec contains i =
+              i + String.length expect <= String.length e
+              && (String.sub e i (String.length expect) = expect || contains (i + 1))
+            in
+            contains 0)
+          es
+      in
+      if not found then
+        Alcotest.failf "errors %s do not mention %S" (String.concat "; " es) expect
+
+let wrap body = "      program p\n" ^ body ^ "      end\n"
+
+(* ------------------------------------------------------------------ *)
+
+let test_good_program () =
+  let envs =
+    analyse_ok
+      (wrap
+         {|
+      integer n, i
+      parameter (n = 10)
+      real*8 a(n, n)
+c$distribute a(*, block)
+      do i = 1, n
+        a(i, i) = sqrt(dble(i))
+      enddo
+|})
+  in
+  let env = List.hd envs in
+  let ai = Option.get (Sema.find_array env "a") in
+  check_bool "distributed" true (ai.Sema.ai_dist <> None);
+  (match ai.Sema.ai_const_shape with
+  | Some (_, ext) -> Alcotest.(check (array int)) "extents" [| 10; 10 |] ext
+  | None -> Alcotest.fail "expected constant shape");
+  (* parameter n substituted into the body *)
+  let body = env.Sema.routine.Decl.rbody in
+  match (List.hd body).Stmt.s with
+  | Stmt.Do d -> check_bool "hi folded to 10" true (d.Stmt.hi = Expr.Int 10)
+  | _ -> Alcotest.fail "expected a do loop"
+
+let test_intrinsic_resolution () =
+  let envs =
+    analyse_ok
+      (wrap {|
+      integer i, j
+      i = mod(7, 3)
+      j = max(i, 2)
+|})
+  in
+  let env = List.hd envs in
+  match (List.hd env.Sema.routine.Decl.rbody).Stmt.s with
+  | Stmt.Assign (_, Expr.Intrin ("mod", _)) -> ()
+  | s -> Alcotest.failf "expected intrinsic, got %s" (Format.asprintf "%a" Stmt.pp (Stmt.mk s))
+
+let test_undeclared () =
+  analyse_err ~expect:"undeclared" (wrap "      x = 1\n");
+  analyse_err ~expect:"undeclared"
+    (wrap "      integer i\n      i = k + 1\n")
+
+let test_arity_and_types () =
+  analyse_err ~expect:"dimensions"
+    (wrap "      real*8 a(4, 4)\n      a(1) = 0.0\n");
+  analyse_err ~expect:"subscript"
+    (wrap "      real*8 a(4), x\n      x = 1.5\n      a(x) = 0.0\n");
+  analyse_err ~expect:"neither"
+    (wrap "      integer i\n      i = frobnicate(3)\n")
+
+let test_assign_to_const_or_array () =
+  analyse_err ~expect:"parameter"
+    (wrap "      integer n\n      parameter (n = 4)\n      n = 5\n");
+  analyse_err ~expect:"without subscripts"
+    (wrap "      real*8 a(4)\n      a = 0.0\n")
+
+let test_dist_legality () =
+  analyse_err ~expect:"not declared" (wrap "c$distribute q(block)\n");
+  analyse_err ~expect:"dimensions"
+    (wrap "      real*8 a(4, 4)\nc$distribute a(block)\n");
+  analyse_err ~expect:"cannot be both"
+    (wrap
+       "      real*8 a(8)\nc$distribute a(block)\nc$distribute_reshape a(block)\n");
+  analyse_err ~expect:"duplicate"
+    (wrap "      real*8 a(8)\nc$distribute a(block)\nc$distribute a(cyclic)\n");
+  analyse_err ~expect:"onto"
+    (wrap "      real*8 a(8, 8)\nc$distribute a(block, block) onto(2, 2, 1)\n");
+  analyse_err ~expect:"no dimension"
+    (wrap "      real*8 a(8)\nc$distribute a(*)\n")
+
+let test_equivalence_reshape_error () =
+  (* §6: disallowing the equivalencing of reshaped arrays is a
+     compile-time check *)
+  analyse_err ~expect:"equivalenced"
+    (wrap
+       {|
+      real*8 a(8), b(8)
+      equivalence (a, b)
+c$distribute_reshape a(block)
+|});
+  (* equivalence of plain arrays is fine *)
+  ignore
+    (analyse_ok
+       (wrap {|
+      real*8 a(8), b(8)
+      equivalence (a, b)
+      a(1) = 0.0
+|}));
+  analyse_err ~expect:"larger"
+    (wrap {|
+      real*8 a(4), b(8)
+      equivalence (a, b)
+|})
+
+let test_redistribute_legality () =
+  analyse_err ~expect:"cannot be redistributed"
+    (wrap
+       {|
+      real*8 a(8)
+c$distribute_reshape a(block)
+c$redistribute a(cyclic)
+|});
+  analyse_err ~expect:"not a distributed array"
+    (wrap {|
+      real*8 a(8)
+c$redistribute a(cyclic)
+|});
+  ignore
+    (analyse_ok
+       (wrap
+          {|
+      real*8 a(8)
+c$distribute a(block)
+c$redistribute a(cyclic)
+|}))
+
+let test_affinity_legality () =
+  (* good: literal affine form *)
+  ignore
+    (analyse_ok
+       (wrap
+          {|
+      integer i
+      real*8 a(100)
+c$distribute a(block)
+c$doacross local(i) affinity(i) = data(a(2*i + 1))
+      do i = 1, 49
+        a(2*i+1) = 1.0
+      enddo
+|}));
+  (* negative coefficient rejected *)
+  analyse_err ~expect:"non-negative"
+    (wrap
+       {|
+      integer i
+      real*8 a(100)
+c$distribute a(block)
+c$doacross local(i) affinity(i) = data(a(100 - i))
+      do i = 1, 99
+        a(100-i) = 1.0
+      enddo
+|});
+  (* non-affine rejected *)
+  analyse_err ~expect:"literal form"
+    (wrap
+       {|
+      integer i
+      real*8 a(100)
+c$distribute a(block)
+c$doacross local(i) affinity(i) = data(a(i*i))
+      do i = 1, 10
+        a(i*i) = 1.0
+      enddo
+|});
+  (* affinity on a non-distributed array rejected *)
+  analyse_err ~expect:"not distributed"
+    (wrap
+       {|
+      integer i
+      real*8 a(100)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, 100
+        a(i) = 1.0
+      enddo
+|})
+
+let test_affinity_unmatched_dim_const () =
+  (* a distributed dimension without an affinity variable needs a constant
+     subscript (it pins the owning processor) *)
+  analyse_err ~expect:"must use an affinity variable"
+    (wrap
+       {|
+      integer i, k
+      real*8 a(16, 16)
+c$distribute a(*, block)
+      k = 3
+c$doacross local(i) affinity(i) = data(a(i, k))
+      do i = 1, 16
+        a(i, 1) = 1.0
+      enddo
+|});
+  (* constant is fine *)
+  ignore
+    (analyse_ok
+       (wrap
+          {|
+      integer i
+      real*8 a(16, 16)
+c$distribute a(*, block)
+c$doacross local(i) affinity(i) = data(a(i, 3))
+      do i = 1, 16
+        a(i, 3) = 1.0
+      enddo
+|}))
+
+let test_nest_perfect () =
+  analyse_err ~expect:"perfect"
+    (wrap
+       {|
+      integer i, j
+      real*8 a(10, 10)
+c$distribute a(block, block)
+c$doacross nest(i, j) local(i, j)
+      do i = 1, 10
+        a(i, 1) = 0.0
+        do j = 1, 10
+          a(i, j) = 1.0
+        enddo
+      enddo
+|});
+  analyse_err ~expect:"does not match"
+    (wrap
+       {|
+      integer i, j
+      real*8 a(10, 10)
+c$doacross nest(j, i) local(i, j)
+      do i = 1, 10
+        do j = 1, 10
+          a(i, j) = 1.0
+        enddo
+      enddo
+|})
+
+let test_formal_dist_gate () =
+  let src =
+    {|
+      subroutine s(x)
+      real*8 x(10)
+c$distribute_reshape x(block)
+      x(1) = 0.0
+      end
+|}
+  in
+  analyse_err ~expect:"definition points" src;
+  (* but allowed when compiling propagated clones *)
+  ignore (analyse_ok ~allow_formal_dists:true src)
+
+let test_adjustable_formals () =
+  let envs =
+    analyse_ok
+      {|
+      subroutine s(x, n)
+      integer n
+      real*8 x(n, n)
+      x(1, 1) = 0.0
+      end
+|}
+  in
+  let env = List.hd envs in
+  let ai = Option.get (Sema.find_array env "x") in
+  check_bool "no constant shape" true (ai.Sema.ai_const_shape = None);
+  check_bool "formal" true ai.Sema.ai_formal;
+  (* non-formal adjustable arrays are rejected *)
+  analyse_err ~expect:"constant bounds"
+    {|
+      subroutine s(n)
+      integer n
+      real*8 x(n)
+      x(1) = 0.0
+      end
+|}
+
+let test_dsm_intrinsics () =
+  ignore
+    (analyse_ok
+       (wrap
+          {|
+      integer i, p
+      real*8 a(64)
+c$distribute a(block)
+      p = dsm_nprocs()
+      i = dsm_chunksize(a, 1)
+|}));
+  analyse_err ~expect:"distributed array"
+    (wrap
+       {|
+      integer i
+      real*8 a(64)
+      i = dsm_chunksize(a, 1)
+|})
+
+let test_type_of () =
+  let envs =
+    analyse_ok
+      (wrap
+         {|
+      integer i
+      real*8 x, a(4)
+      i = 1
+      x = a(i) + 1
+|})
+  in
+  let env = List.hd envs in
+  check_bool "int var" true (Sema.type_of env (Expr.Var "i") = Types.Tint);
+  check_bool "real promote" true
+    (Sema.type_of env (Expr.Bin (Expr.Add, Expr.Var "i", Expr.Var "x")) = Types.Treal);
+  check_bool "rel is int" true
+    (Sema.type_of env (Expr.Rel (Expr.Lt, Expr.Var "i", Expr.Int 3)) = Types.Tint)
+
+let test_common_checks () =
+  analyse_err ~expect:"not declared"
+    (wrap "      common /blk/ zz\n");
+  analyse_err ~expect:"formal"
+    {|
+      subroutine s(x)
+      real*8 x(4)
+      common /blk/ x
+      x(1) = 0.0
+      end
+|};
+  analyse_err ~expect:"only arrays"
+    (wrap "      real*8 x\n      common /blk/ x\n      x = 1.0\n");
+  let envs =
+    analyse_ok
+      (wrap {|
+      real*8 v(8)
+      common /blk/ v
+      v(1) = 1.0
+|})
+  in
+  let ai = Option.get (Sema.find_array (List.hd envs) "v") in
+  check_bool "common recorded" true (ai.Sema.ai_common = Some "blk")
+
+let test_multiple_errors_reported () =
+  match
+    analyse (wrap "      x = 1\n      y = 2\n      z = 3\n")
+  with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error es -> check_int "all three reported" 3 (List.length es)
+
+let () =
+  Alcotest.run "sema"
+    [
+      ( "resolution",
+        [
+          Alcotest.test_case "good program" `Quick test_good_program;
+          Alcotest.test_case "intrinsics" `Quick test_intrinsic_resolution;
+          Alcotest.test_case "undeclared names" `Quick test_undeclared;
+          Alcotest.test_case "arity & subscript types" `Quick test_arity_and_types;
+          Alcotest.test_case "assignment targets" `Quick test_assign_to_const_or_array;
+          Alcotest.test_case "type_of" `Quick test_type_of;
+          Alcotest.test_case "multiple errors" `Quick test_multiple_errors_reported;
+        ] );
+      ( "directives",
+        [
+          Alcotest.test_case "distribute legality" `Quick test_dist_legality;
+          Alcotest.test_case "reshaped equivalence rejected" `Quick test_equivalence_reshape_error;
+          Alcotest.test_case "redistribute legality" `Quick test_redistribute_legality;
+          Alcotest.test_case "affinity legality" `Quick test_affinity_legality;
+          Alcotest.test_case "nest perfection" `Quick test_nest_perfect;
+          Alcotest.test_case "affinity constant-dim restriction" `Quick
+            test_affinity_unmatched_dim_const;
+          Alcotest.test_case "formal dists gated" `Quick test_formal_dist_gate;
+          Alcotest.test_case "dsm intrinsics" `Quick test_dsm_intrinsics;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "adjustable formals" `Quick test_adjustable_formals;
+          Alcotest.test_case "common blocks" `Quick test_common_checks;
+        ] );
+    ]
