@@ -41,7 +41,7 @@ let run_prog ~setup ~version ~nprocs prog =
   in
   match Ddsm.run prog ~rt ~checks:false () with
   | Ok o -> o
-  | Error m -> failwith ("bench run failed: " ^ m)
+  | Error m -> failwith ("bench run failed: " ^ Ddsm.Diag.to_string m)
 
 (* Cycles of the iterated phase alone: run with T and with 2T iterations of
    the measured loop and difference the totals, cancelling initialization

@@ -4,10 +4,16 @@
    here at start-up, exactly as in the paper ("the number of processors in
    each distributed dimension is determined at program start-up time, which
    enables the same executable to run with different number of
-   processors"). *)
+   processors").
+
+   Exit codes: 0 success; 1 usage/IO; 2 a runtime error of the simulated
+   program; 3 an internal failure of the simulator itself (invariant
+   violation, audit failure, differential mismatch). *)
 
 open Cmdliner
 module Ddsm = Ddsm_core.Ddsm
+module Fault = Ddsm_core.Ddsm.Fault
+module Diag = Ddsm_core.Ddsm.Diag
 module Pagetable = Ddsm_machine.Pagetable
 
 let policy_conv =
@@ -36,27 +42,108 @@ let machine_conv =
   in
   Arg.conv (parse, print)
 
-let run image nprocs policy machine heap_words stats no_checks bounds max_cycles =
+let fault_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Fault.of_spec s) in
+  let print ppf f = Format.pp_print_string ppf (Fault.to_spec f) in
+  Arg.conv (parse, print)
+
+let fail_diag d =
+  Printf.eprintf "runtime error: %s\n" (Diag.to_string d);
+  exit (if Diag.is_internal d then 3 else 2)
+
+(* One configured run of the linked image; a fresh machine every time. *)
+let run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
+    ~max_cycles ~audit ~fault =
+  let prog = Ddsm.prog_of_linked linked in
+  let rt = Ddsm.make_rt ~machine ~policy ~heap_words ~fault ~nprocs () in
+  Ddsm.run prog ~rt ~checks ~bounds ?max_cycles ~audit ()
+
+(* --differential N: the transparency oracle. The same image runs under N
+   extra configurations with randomized placement policy, processor count
+   and fault plan; since directives (and faults) may affect only
+   performance, every configuration must print byte-identical output. *)
+let differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words ~checks
+    ~bounds ~max_cycles ~audit =
+  let lcg x = ((x * 25214903917) + 11) land 0xFFFFFFFFFFFF in
+  let st = ref (lcg (seed + 0x9E3779B9)) in
+  let pick arr =
+    st := lcg !st;
+    arr.((!st lsr 17) mod Array.length arr)
+  in
+  let describe ~policy ~nprocs ~fault =
+    Printf.sprintf "policy=%s nprocs=%d fault=[%s]"
+      (match policy with
+      | Pagetable.First_touch -> "first-touch"
+      | Pagetable.Round_robin -> "round-robin")
+      nprocs (Fault.to_spec fault)
+  in
+  let run_cfg ~policy ~nprocs ~fault =
+    match
+      run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
+        ~max_cycles ~audit ~fault
+    with
+    | Error d ->
+        Printf.eprintf "differential: run failed under %s\n%s\n"
+          (describe ~policy ~nprocs ~fault)
+          (Diag.to_string d);
+        exit (if Diag.is_internal d then 3 else 2)
+    | Ok o -> o
+  in
+  let base = run_cfg ~policy ~nprocs ~fault:Fault.none in
+  Printf.printf "differential base: %s  cycles=%d\n"
+    (describe ~policy ~nprocs ~fault:Fault.none)
+    base.Ddsm.Engine.cycles;
+  for k = 1 to n do
+    let policy = pick [| Pagetable.First_touch; Pagetable.Round_robin |] in
+    let nprocs = pick [| 2; 4; 8 |] in
+    let fault = Fault.random ~seed:(seed + k) ~nnodes:(max 1 (nprocs / 2)) in
+    let o = run_cfg ~policy ~nprocs ~fault in
+    let same = o.Ddsm.Engine.prints = base.Ddsm.Engine.prints in
+    Printf.printf "differential %d/%d: %s  cycles=%d  output %s\n" k n
+      (describe ~policy ~nprocs ~fault)
+      o.Ddsm.Engine.cycles
+      (if same then "identical" else "DIFFERS");
+    if not same then begin
+      Printf.eprintf
+        "differential mismatch: distribution/faults changed the program's \
+         output (transparency violation)\n";
+      List.iteri (fun i l -> Printf.eprintf "  base[%d]: %s\n" i l)
+        base.Ddsm.Engine.prints;
+      List.iteri (fun i l -> Printf.eprintf "  this[%d]: %s\n" i l)
+        o.Ddsm.Engine.prints;
+      exit 3
+    end
+  done;
+  Printf.printf "differential: %d configuration(s), outputs identical\n" n;
+  base
+
+let run image nprocs policy machine heap_words stats no_checks bounds
+    max_cycles fault audit differ seed =
   match Ddsm.load_image ~path:image with
   | Error e ->
       Printf.eprintf "%s\n" e;
       exit 1
   | Ok linked -> (
-      let prog = Ddsm.prog_of_linked linked in
-      let rt = Ddsm.make_rt ~machine ~policy ~heap_words ~nprocs () in
-      match
-        Ddsm.run prog ~rt ~checks:(not no_checks) ~bounds ?max_cycles ()
-      with
-      | Error m ->
-          Printf.eprintf "runtime error: %s\n" m;
-          exit 2
-      | Ok o ->
-          List.iter print_endline o.Ddsm.Engine.prints;
-          Printf.printf "cycles: %d  (procs: %d)\n" o.Ddsm.Engine.cycles nprocs;
-          if stats then
-            Format.printf "%a@."
-              Ddsm_report.Stats.pp
-              (Ddsm_report.Stats.of_counters o.Ddsm.Engine.counters))
+      let checks = not no_checks in
+      match differ with
+      | Some n when n >= 1 ->
+          ignore
+            (differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words
+               ~checks ~bounds ~max_cycles ~audit)
+      | _ -> (
+          match
+            run_once linked ~nprocs ~policy ~machine ~heap_words ~checks
+              ~bounds ~max_cycles ~audit ~fault
+          with
+          | Error d -> fail_diag d
+          | Ok o ->
+              List.iter print_endline o.Ddsm.Engine.prints;
+              Printf.printf "cycles: %d  (procs: %d)\n" o.Ddsm.Engine.cycles
+                nprocs;
+              if audit then print_endline "audit clean";
+              if stats then
+                Format.printf "%a@." Ddsm_report.Stats.pp
+                  (Ddsm_report.Stats.of_counters o.Ddsm.Engine.counters)))
 
 let () =
   let image = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.pfi") in
@@ -86,12 +173,48 @@ let () =
   let max_cycles =
     Arg.(value & opt (some int) None & info [ "max-cycles" ] ~doc:"Abort after this many cycles.")
   in
+  let fault =
+    Arg.(
+      value
+      & opt fault_conv Fault.none
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault plan, e.g. \
+             $(b,slow=0:80,hotdir=1:40,tlb=512,redist-fail=2) or \
+             $(b,random=SEED:NNODES). Faults perturb timing only; output \
+             must not change.")
+  in
+  let audit =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Audit machine invariants (coherence, directory/cache \
+             agreement, TLB/page-table agreement, heap canaries) after the \
+             run; an inconsistency fails with exit code 3.")
+  in
+  let differential =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "differential" ] ~docv:"N"
+          ~doc:
+            "Transparency oracle: run the image under N extra randomized \
+             {policy, nprocs, fault-plan} configurations and require \
+             byte-identical output from all of them.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Random seed for $(b,--differential) configurations.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "pflrun" ~version:"1.0"
          ~doc:"Run a linked image on the simulated Origin-2000.")
       Term.(
         const run $ image $ nprocs $ policy $ machine $ heap $ stats $ no_checks
-        $ bounds $ max_cycles)
+        $ bounds $ max_cycles $ fault $ audit $ differential $ seed)
   in
   exit (Cmd.eval cmd)

@@ -6,6 +6,9 @@ module Prelink = Ddsm_linker.Prelink
 module Config = Ddsm_machine.Config
 module Pagetable = Ddsm_machine.Pagetable
 module Rt = Ddsm_runtime.Rt
+module Fault = Ddsm_check.Fault
+module Diag = Ddsm_check.Diag
+module Audit = Ddsm_check.Audit
 
 type machine = Origin2000 | Scaled of int
 
@@ -36,28 +39,33 @@ let link objs =
   | Ok l -> Ok (prog_of_linked l, l)
 
 let make_rt ?(machine = Scaled 64) ?(policy = Pagetable.First_touch)
-    ?(heap_words = 1 lsl 24) ?machine_procs ~nprocs () =
+    ?(heap_words = 1 lsl 24) ?machine_procs ?fault ~nprocs () =
   let hw = match machine_procs with Some m -> max m nprocs | None -> nprocs in
   let cfg =
     match machine with
     | Origin2000 -> Config.origin2000 ~nprocs:hw
     | Scaled factor -> Config.scaled ~nprocs:hw ~factor ()
   in
-  Rt.create cfg ~policy ~heap_words ~job_procs:nprocs ()
+  Rt.create cfg ~policy ~heap_words ~job_procs:nprocs ?fault ()
 
-let run prog ~rt ?checks ?bounds ?max_cycles () =
-  Engine.run prog ~rt ?checks ?bounds ?max_cycles ()
+let run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit () =
+  Engine.run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit ()
 
-let run_source ?flags ?machine ?policy ?heap_words ?machine_procs
-    ?(nprocs = 8) ?checks ?bounds ?max_cycles src =
+let run_source ?flags ?machine ?policy ?heap_words ?machine_procs ?fault
+    ?(nprocs = 8) ?checks ?bounds ?max_cycles ?audit src =
   match compile_source ?flags ~fname:"<source>" src with
   | Error es -> Error (String.concat "\n" es)
   | Ok obj -> (
       match link [ obj ] with
       | Error es -> Error (String.concat "\n" es)
-      | Ok (prog, _) ->
-          let rt = make_rt ?machine ?policy ?heap_words ?machine_procs ~nprocs () in
-          run prog ~rt ?checks ?bounds ?max_cycles ())
+      | Ok (prog, _) -> (
+          let rt =
+            make_rt ?machine ?policy ?heap_words ?machine_procs ?fault ~nprocs
+              ()
+          in
+          match run prog ~rt ?checks ?bounds ?max_cycles ?audit () with
+          | Ok _ as ok -> ok
+          | Error d -> Error (Diag.to_string d)))
 
 let save_image (l : Prelink.linked) ~path =
   let oc = open_out_bin path in

@@ -18,6 +18,17 @@ open Ddsm_ir
 module Flags = Ddsm_transform.Flags
 module Engine = Ddsm_exec.Engine
 
+module Fault = Ddsm_check.Fault
+(** Deterministic fault plans (see {!Ddsm_check.Fault}): slow nodes, hot
+    directories, congested links, TLB shootdowns, redistribution failures —
+    perturbing performance, never values. *)
+
+module Diag = Ddsm_check.Diag
+(** Structured run diagnostics (what {!run} returns on failure). *)
+
+module Audit = Ddsm_check.Audit
+(** Invariant-audit violations (returned by {!Ddsm_runtime.Rt.audit}). *)
+
 type machine =
   | Origin2000  (** the paper's full-size parameters (§2) *)
   | Scaled of int  (** capacities shrunk by the factor (see DESIGN.md) *)
@@ -38,24 +49,30 @@ val link :
 
 val make_rt :
   ?machine:machine -> ?policy:Ddsm_machine.Pagetable.policy ->
-  ?heap_words:int -> ?machine_procs:int -> nprocs:int -> unit ->
-  Ddsm_runtime.Rt.t
-(** Defaults: [Scaled 64], first-touch, 16M-word heap. [nprocs] is the
-    job's processor count; [machine_procs] (>= nprocs) sizes the simulated
-    machine itself, so P-processor jobs can run on a larger fixed machine
-    as in the paper's evaluation. *)
+  ?heap_words:int -> ?machine_procs:int -> ?fault:Fault.t -> nprocs:int ->
+  unit -> Ddsm_runtime.Rt.t
+(** Defaults: [Scaled 64], first-touch, 16M-word heap, no faults. [nprocs]
+    is the job's processor count; [machine_procs] (>= nprocs) sizes the
+    simulated machine itself, so P-processor jobs can run on a larger fixed
+    machine as in the paper's evaluation. [fault] installs a deterministic
+    fault plan on the simulated machine. *)
 
 val run :
   Ddsm_exec.Prog.t -> rt:Ddsm_runtime.Rt.t -> ?checks:bool -> ?bounds:bool ->
-  ?max_cycles:int -> unit -> (Engine.outcome, string) result
+  ?max_cycles:int -> ?audit:bool -> ?stall_limit:int -> unit ->
+  (Engine.outcome, Diag.t) result
+(** See {!Ddsm_exec.Engine.run}: failures are structured diagnoses;
+    [audit] adds a post-run invariant audit. *)
 
 val run_source :
   ?flags:Flags.t -> ?machine:machine -> ?policy:Ddsm_machine.Pagetable.policy ->
-  ?heap_words:int -> ?machine_procs:int -> ?nprocs:int -> ?checks:bool ->
-  ?bounds:bool -> ?max_cycles:int -> string -> (Engine.outcome, string) result
+  ?heap_words:int -> ?machine_procs:int -> ?fault:Fault.t -> ?nprocs:int ->
+  ?checks:bool -> ?bounds:bool -> ?max_cycles:int -> ?audit:bool -> string ->
+  (Engine.outcome, string) result
 (** One-shot: parse, analyse, lower, link and execute a single source
     string (default 8 processors). Compile/link diagnostics are joined into
-    the error string. *)
+    the error string; run diagnoses are rendered with
+    {!Diag.to_string}. *)
 
 val save_image : Ddsm_linker.Prelink.linked -> path:string -> unit
 val load_image : path:string -> (Ddsm_linker.Prelink.linked, string) result

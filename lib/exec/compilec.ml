@@ -590,7 +590,7 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             if step > 0 then
               while ints.(slot) <= hi do
                 if ctx.ws.Eff.clock > g.cycle_limit then
-                  Eff.error "simulated cycle limit exceeded";
+                  raise (Eff.Cycle_limit g.cycle_limit);
                 charge Costs.loop_iter ctx.ws;
                 body ctx;
                 ints.(slot) <- ints.(slot) + step
@@ -598,7 +598,7 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             else
               while ints.(slot) >= hi do
                 if ctx.ws.Eff.clock > g.cycle_limit then
-                  Eff.error "simulated cycle limit exceeded";
+                  raise (Eff.Cycle_limit g.cycle_limit);
                 charge Costs.loop_iter ctx.ws;
                 body ctx;
                 ints.(slot) <- ints.(slot) + step
@@ -618,8 +618,13 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
       let page_words = Rt.page_words renv.g.rt in
       fun ctx -> (
         match Rt.redistribute renv.g.rt ~name:qname ~kinds ?onto () with
-        | Ok moved ->
-            charge (moved * Costs.redistribute_per_page ~page_words) ctx.ws
+        | Ok { Rt.moved; retries; fell_back = _ } ->
+            (* failed attempts cost backoff time; a fallback costs only the
+               retries (no pages move, the old placement is kept) *)
+            charge
+              ((retries * Costs.redistribute_retry)
+              + (moved * Costs.redistribute_per_page ~page_words))
+              ctx.ws
         | Error m -> Eff.error "%s" m)
   | Stmt.Continue | Stmt.Barrier -> fun _ -> ()
   | Stmt.Return -> fun _ -> raise Return_local

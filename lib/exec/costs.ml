@@ -13,4 +13,7 @@ let argcheck_lookup = 25
 (* moving one page: read + write each cache line through memory *)
 let redistribute_per_page ~page_words = page_words / 4
 
+(* one failed redistribution attempt: OS round-trip plus backoff wait *)
+let redistribute_retry = 400
+
 let intrinsic = Ddsm_sema.Intrinsics.cycles

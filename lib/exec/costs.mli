@@ -36,4 +36,9 @@ val argcheck_register : int
 val argcheck_lookup : int
 
 val redistribute_per_page : page_words:int -> int
+
+(** cycles charged for each failed (injected) redistribution attempt:
+    OS round-trip plus backoff wait before retrying *)
+val redistribute_retry : int
+
 val intrinsic : string -> int

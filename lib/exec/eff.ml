@@ -5,5 +5,6 @@ type _ Effect.t +=
   | Fork : ws * (ws -> int -> unit) * int -> unit Effect.t
 
 exception Runtime_error of string
+exception Cycle_limit of int
 
 let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt

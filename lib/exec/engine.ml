@@ -4,6 +4,8 @@ module Rt = Ddsm_runtime.Rt
 module Heap = Ddsm_runtime.Heap
 module Memsys = Ddsm_machine.Memsys
 module Counters = Ddsm_machine.Counters
+module Diag = Ddsm_check.Diag
+module Fault = Ddsm_check.Fault
 open Ddsm_ir
 
 type outcome = {
@@ -133,18 +135,100 @@ type task = {
   tws : Eff.ws;
   mutable state : tstate;
   parent : task option;
+  mutable children : task list;
   mutable pending : int;
   mutable maxchild : int;
+  mutable lost_wakeup : bool;
   mutable wait_k : (unit, unit) Effect.Deep.continuation option;
 }
 
 and tstate = Start of (unit -> unit) | Ready | Waiting | Done
 
+(* raised inside the scheduler loop when the watchdog trips *)
+exception Stalled of int
+
+let rec view_of t =
+  let st =
+    match t.state with
+    | _ when t.lost_wakeup -> Diag.Blocked_mem
+    | Start _ | Ready -> Diag.Ready
+    | Waiting -> Diag.Waiting t.pending
+    | Done -> Diag.Done
+  in
+  {
+    Diag.tv_proc = t.tws.Eff.proc;
+    tv_clock = t.tws.Eff.clock;
+    tv_depth = t.tws.Eff.depth;
+    tv_state = st;
+    tv_children =
+      List.filter_map
+        (fun c -> match c.state with Done -> None | _ -> Some (view_of c))
+        (List.rev t.children);
+  }
+
 let run prog ~rt ?(checks = true) ?(bounds = false)
-    ?(max_cycles = max_int / 2) () =
+    ?(max_cycles = max_int / 2) ?(audit = false) ?(stall_limit = 1_000_000) ()
+    =
   let prints = ref [] in
+  let phase = ref "elaborate" in
+  let mem = rt.Rt.mem in
+  let master_ws = { Eff.proc = 0; clock = 0; depth = 0 } in
+  let master =
+    {
+      tws = master_ws;
+      state = Done;
+      parent = None;
+      children = [];
+      pending = 0;
+      maxchild = 0;
+      lost_wakeup = false;
+      wait_k = None;
+    }
+  in
+  (* Full-context diagnosis: reason + where every simulated task stands.
+     Built from whatever state exists when the failure is observed. *)
+  let diagnose reason =
+    let clocks = Hashtbl.create 16 in
+    let rec clock_walk t =
+      let p = t.tws.Eff.proc and c = t.tws.Eff.clock in
+      (match Hashtbl.find_opt clocks p with
+      | Some c' when c' >= c -> ()
+      | _ -> Hashtbl.replace clocks p c);
+      List.iter clock_walk t.children
+    in
+    clock_walk master;
+    let blocked =
+      match master.state with
+      | Done -> []
+      | _ -> (
+          match view_of master with
+          | { Diag.tv_state = Diag.Done; _ } -> []
+          | v -> [ v ])
+    in
+    {
+      Diag.phase = !phase;
+      reason;
+      proc_clocks =
+        List.sort compare (Hashtbl.fold (fun p c acc -> (p, c) :: acc) clocks []);
+      blocked;
+      counters =
+        ("redist_retries", rt.Rt.redist_retries)
+        :: ("redist_fallbacks", rt.Rt.redist_fallbacks)
+        :: Counters.to_assoc (Memsys.total_counters mem);
+      violations = [];
+    }
+  in
+  let classify = function
+    | Eff.Runtime_error m -> Diag.User m
+    | Eff.Cycle_limit limit -> Diag.Cycle_budget { limit }
+    | Heap.Out_of_memory m -> Diag.User m
+    | Stalled steps -> Diag.Watchdog_stall { steps }
+    | Invalid_argument m | Failure m -> Diag.Internal m
+    | e -> Diag.Internal (Printexc.to_string e)
+  in
   try
     elaborate prog ~rt;
+    phase := "compile";
     let g =
       Compilec.create prog ~rt ~checks ~bounds
         ~static_abind:(fun ~routine ~array -> static_abind prog rt ~routine ~array)
@@ -152,10 +236,11 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
     in
     Compilec.set_cycle_limit g max_cycles;
     Compilec.compile_all g;
-    let mem = rt.Rt.mem in
+    phase := "execute";
+    let fault = Memsys.fault mem in
+    let wakeups = ref 0 in
     let heap = Heapq.create () in
     let failure : exn option ref = ref None in
-    let master_ws = { Eff.proc = 0; clock = 0; depth = 0 } in
     let push t = Heapq.push heap ~key:t.tws.Eff.clock t in
     let rec finish t =
       t.state <- Done;
@@ -165,6 +250,7 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
           p.pending <- p.pending - 1;
           p.maxchild <- max p.maxchild t.tws.Eff.clock;
           if p.pending = 0 then begin
+            p.children <- [];
             p.tws.Eff.clock <- p.maxchild;
             p.state <- Ready;
             push p
@@ -187,12 +273,18 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                     in
                     ws.Eff.clock <- ws.Eff.clock + lat;
                     if ws.Eff.clock > max_cycles then
-                      failure :=
-                        Some (Eff.Runtime_error "simulated cycle limit exceeded")
+                      failure := Some (Eff.Cycle_limit max_cycles)
                     else begin
                       t.state <- Ready;
                       t.wait_k <- Some k;
-                      push t
+                      incr wakeups;
+                      let w = !wakeups in
+                      (* chaos fault: the completion wakeup is dropped and
+                         the task stays parked forever — the watchdog's
+                         deadlock report must name it *)
+                      if Fault.wakeup_lost fault ~wakeup:w then
+                        t.lost_wakeup <- true
+                      else push t
                     end)
             | Eff.Fork (ws, body, n) ->
                 Some
@@ -201,6 +293,7 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                     t.wait_k <- Some k;
                     t.pending <- n;
                     t.maxchild <- ws.Eff.clock;
+                    t.children <- [];
                     for p = n - 1 downto 0 do
                       let cws =
                         { Eff.proc = p; clock = ws.Eff.clock; depth = ws.Eff.depth + 1 }
@@ -210,63 +303,84 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                           tws = cws;
                           state = Start (fun () -> body cws p);
                           parent = Some t;
+                          children = [];
                           pending = 0;
                           maxchild = 0;
+                          lost_wakeup = false;
                           wait_k = None;
                         }
                       in
+                      t.children <- child :: t.children;
                       push child
                     done)
             | _ -> None);
       }
     in
-    let master =
-      {
-        tws = master_ws;
-        state = Start (fun () -> Compilec.run_main g master_ws);
-        parent = None;
-        pending = 0;
-        maxchild = 0;
-        wait_k = None;
-      }
-    in
+    master.state <- Start (fun () -> Compilec.run_main g master_ws);
     push master;
-    let steps = ref 0 in
+    (* Watchdog: consecutive scheduler steps without the minimum queued
+       clock advancing. A healthy run advances some clock on every resume
+       (every memory access has positive latency); a stall this long means
+       tasks are re-enqueuing at a frozen clock. *)
+    let last_key = ref min_int and stalled = ref 0 in
     let rec loop () =
       if !failure <> None then ()
       else
         match Heapq.pop heap with
         | None -> ()
-        | Some (_, t) ->
-            incr steps;
-            (match t.state with
-            | Start f ->
-                t.state <- Done;
-                Effect.Deep.match_with f () (handler t)
-            | Ready -> (
-                match t.wait_k with
-                | Some k ->
-                    t.state <- Done;
-                    t.wait_k <- None;
-                    Effect.Deep.continue k ()
-                | None -> ())
-            | Waiting | Done -> ());
-            loop ()
+        | Some (key, t) ->
+            if key > !last_key then begin
+              last_key := key;
+              stalled := 0
+            end
+            else begin
+              incr stalled;
+              if !stalled > stall_limit then failure := Some (Stalled !stalled)
+            end;
+            if !failure <> None then ()
+            else begin
+              (match t.state with
+              | Start f ->
+                  t.state <- Done;
+                  Effect.Deep.match_with f () (handler t)
+              | Ready -> (
+                  match t.wait_k with
+                  | Some k ->
+                      t.state <- Done;
+                      t.wait_k <- None;
+                      Effect.Deep.continue k ()
+                  | None -> ())
+              | Waiting | Done -> ());
+              loop ()
+            end
     in
     loop ();
-    (match !failure with Some e -> raise e | None -> ());
-    if master.state <> Done then
-      Eff.error "deadlock: program did not run to completion";
-    let per_proc =
-      Array.init (Rt.nprocs rt) (fun p -> Memsys.counters mem ~proc:p)
-    in
-    Ok
-      {
-        cycles = master_ws.Eff.clock;
-        prints = List.rev !prints;
-        counters = Memsys.total_counters mem;
-        per_proc;
-      }
+    match !failure with
+    | Some e -> Error (diagnose (classify e))
+    | None ->
+        if master.state <> Done then Error (diagnose Diag.Deadlock)
+        else begin
+          let post_audit =
+            if audit then Rt.audit rt else []
+          in
+          match post_audit with
+          | _ :: _ as violations ->
+              Error
+                { (diagnose Diag.Audit_failure) with phase = "audit"; violations }
+          | [] ->
+              let per_proc =
+                Array.init (Rt.nprocs rt) (fun p -> Memsys.counters mem ~proc:p)
+              in
+              Ok
+                {
+                  cycles = master_ws.Eff.clock;
+                  prints = List.rev !prints;
+                  counters = Memsys.total_counters mem;
+                  per_proc;
+                }
+        end
   with
-  | Eff.Runtime_error m -> Error m
-  | Invalid_argument m | Failure m -> Error ("internal error: " ^ m)
+  | Eff.Runtime_error m -> Error (Diag.user ~phase:!phase m)
+  | Eff.Cycle_limit limit ->
+      Error (diagnose (Diag.Cycle_budget { limit }))
+  | Heap.Out_of_memory m -> Error (Diag.user ~phase:!phase m)

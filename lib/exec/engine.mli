@@ -23,11 +23,25 @@ val run :
   ?checks:bool ->
   ?bounds:bool ->
   ?max_cycles:int ->
+  ?audit:bool ->
+  ?stall_limit:int ->
   unit ->
-  (outcome, string) result
+  (outcome, Ddsm_check.Diag.t) result
 (** [checks] enables the §6 runtime argument checks (default true);
     [bounds] enables subscript bounds checking on plain array views
-    (default false); [max_cycles] aborts runaway programs. *)
+    (default false); [max_cycles] aborts runaway programs.
+
+    Failures are structured diagnoses ({!Ddsm_check.Diag.t}): user errors,
+    cycle-budget exhaustion, deadlock (with the blocked-task tree and
+    per-processor clocks), watchdog stalls ([stall_limit] scheduler steps
+    without any clock advancing), and internal invariant violations —
+    [Invalid_argument]/[Failure] escaping a simulated task are reported as
+    [Internal], never disguised as user errors; the same exceptions raised
+    outside the scheduler propagate to the caller.
+
+    [audit] (default false) runs the full invariant audit ({!Rt.audit})
+    after a successful run and fails with [Audit_failure] listing the
+    violations if the machine state is inconsistent. *)
 
 val elaborate : Prog.t -> rt:Ddsm_runtime.Rt.t -> unit
 (** Allocate static storage only (exposed for tests). Raises

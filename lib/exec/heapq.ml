@@ -1,8 +1,15 @@
-type 'a t = { mutable arr : (int * 'a) array; mutable n : int }
+(* Entries carry a monotonic push sequence number so equal keys pop in
+   push (FIFO) order: the scheduler's tie-breaking is then deterministic by
+   construction instead of depending on sift-up/sift-down accidents. *)
+type 'a entry = { key : int; seq : int; v : 'a }
+type 'a t = { mutable arr : 'a entry array; mutable n : int; mutable seq : int }
 
-let create () = { arr = [||]; n = 0 }
+let create () = { arr = [||]; n = 0; seq = 0 }
 let is_empty t = t.n = 0
 let size t = t.n
+
+(* lexicographic (key, seq) *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
 let grow t item =
   let cap = Array.length t.arr in
@@ -13,11 +20,13 @@ let grow t item =
   end
 
 let push t ~key v =
-  grow t (key, v);
-  t.arr.(t.n) <- (key, v);
+  let e = { key; seq = t.seq; v } in
+  t.seq <- t.seq + 1;
+  grow t e;
+  t.arr.(t.n) <- e;
   let i = ref t.n in
   t.n <- t.n + 1;
-  while !i > 0 && fst t.arr.((!i - 1) / 2) > fst t.arr.(!i) do
+  while !i > 0 && before t.arr.(!i) t.arr.((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
     let tmp = t.arr.(p) in
     t.arr.(p) <- t.arr.(!i);
@@ -36,8 +45,8 @@ let pop t =
     while !continue_ do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i in
-      if l < t.n && fst t.arr.(l) < fst t.arr.(!smallest) then smallest := l;
-      if r < t.n && fst t.arr.(r) < fst t.arr.(!smallest) then smallest := r;
+      if l < t.n && before t.arr.(l) t.arr.(!smallest) then smallest := l;
+      if r < t.n && before t.arr.(r) t.arr.(!smallest) then smallest := r;
       if !smallest = !i then continue_ := false
       else begin
         let tmp = t.arr.(!smallest) in
@@ -46,5 +55,5 @@ let pop t =
         i := !smallest
       end
     done;
-    Some top
+    Some (top.key, top.v)
   end

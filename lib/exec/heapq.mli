@@ -1,5 +1,11 @@
 (** Minimal binary min-heap of (key, payload) pairs, used by the scheduler
-    to pick the runnable simulated processor with the smallest local clock. *)
+    to pick the runnable simulated processor with the smallest local clock.
+
+    {b Ordering.} [pop] returns entries in non-decreasing key order, and
+    entries with {e equal} keys in push (FIFO) order — ties are broken by a
+    monotonic sequence number stamped at [push]. The scheduler's
+    interleaving of same-cycle events is therefore a deterministic function
+    of the push history, not of heap-internal layout. *)
 
 type 'a t
 

@@ -122,6 +122,13 @@ let invalidate_range t ~lo_addr ~hi_addr =
 
 let resident_lines t = t.resident
 
+let iter_resident t f =
+  let n = Bigarray.Array1.dim t.tags in
+  for idx = 0 to n - 1 do
+    let line = Bigarray.Array1.get t.tags idx in
+    if line >= 0 then f ~line ~dirty:(Bytes.get t.dirty idx <> '\000')
+  done
+
 let clear t =
   Bigarray.Array1.fill t.tags (-1);
   Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';

@@ -42,4 +42,9 @@ val invalidate_range : t -> lo_addr:int -> hi_addr:int -> int
     when an L2 line is invalidated. *)
 
 val resident_lines : t -> int
+
+val iter_resident : t -> (line:int -> dirty:bool -> unit) -> unit
+(** Visit every resident line (order unspecified); used by the invariant
+    auditor. Does not disturb LRU state. *)
+
 val clear : t -> unit

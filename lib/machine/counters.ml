@@ -76,6 +76,25 @@ let sum arr =
 
 let accesses t = t.loads + t.stores
 
+let to_assoc t =
+  [
+    ("loads", t.loads);
+    ("stores", t.stores);
+    ("l1_misses", t.l1_misses);
+    ("l2_misses", t.l2_misses);
+    ("tlb_misses", t.tlb_misses);
+    ("local_fills", t.local_fills);
+    ("remote_fills", t.remote_fills);
+    ("dirty_fetches", t.dirty_fetches);
+    ("upgrades", t.upgrades);
+    ("invals_sent", t.invals_sent);
+    ("invals_received", t.invals_received);
+    ("writebacks", t.writebacks);
+    ("contention_cycles", t.contention_cycles);
+    ("mem_stall_cycles", t.mem_stall_cycles);
+    ("tlb_stall_cycles", t.tlb_stall_cycles);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>accesses %d (%d ld, %d st)@ L1 miss %d, L2 miss %d (%d local, %d \

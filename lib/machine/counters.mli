@@ -27,4 +27,8 @@ val add : t -> t -> unit
 
 val sum : t array -> t
 val accesses : t -> int
+
+val to_assoc : t -> (string * int) list
+(** Snapshot as (name, value) pairs, for structured diagnostics. *)
+
 val pp : Format.formatter -> t -> unit

@@ -54,3 +54,6 @@ let sharers_except t ~line ~proc =
   | Shared s -> Bitset.fold (fun p acc -> if p = proc then acc else p :: acc) s []
 
 let entries t = Hashtbl.length t.table
+
+let iter t f = Hashtbl.iter (fun line e -> f ~line e.st) t.table
+let nprocs t = t.nprocs

@@ -1,3 +1,6 @@
+module Fault = Ddsm_check.Fault
+module Audit = Ddsm_check.Audit
+
 type t = {
   cfg : Config.t;
   topo : Topology.t;
@@ -10,13 +13,15 @@ type t = {
   ctrs : Counters.t array;
   page_shift : int;
   page_mask : int;
+  fault : Fault.t;
+  accesses : int array; (* per-proc translation count, for TLB-flush faults *)
 }
 
 let log2 x =
   let rec go x acc = if x <= 1 then acc else go (x lsr 1) (acc + 1) in
   go x 0
 
-let create cfg ~policy =
+let create cfg ~policy ?(fault = Fault.none) () =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Memsys.create: " ^ e));
@@ -33,9 +38,12 @@ let create cfg ~policy =
     ctrs = Array.init n (fun _ -> Counters.create ());
     page_shift = log2 cfg.Config.page_bytes;
     page_mask = cfg.Config.page_bytes - 1;
+    fault;
+    accesses = Array.make n 0;
   }
 
 let config t = t.cfg
+let fault t = t.fault
 let topology t = t.topo
 let pagetable t = t.pt
 let directory t = t.dir
@@ -70,10 +78,14 @@ let smash_line t ~victim ~phys_line =
   Cache.invalidate l2 ~line:phys_line
 
 (* Reserve the memory module of [node] for one line transfer arriving at
-   [arrival]; returns the queueing delay. *)
+   [arrival]; returns the queueing delay. An injected slow-node fault
+   stretches the module's service occupancy. *)
 let module_service t ~node ~arrival =
   let start = max arrival t.busy_until.(node) in
-  t.busy_until.(node) <- start + t.cfg.Config.mem_occupancy_cycles;
+  let occupancy =
+    t.cfg.Config.mem_occupancy_cycles + Fault.mem_extra t.fault ~node
+  in
+  t.busy_until.(node) <- start + occupancy;
   start - arrival
 
 (* Enqueue a writeback at the line's home module; not on the writer's
@@ -103,6 +115,11 @@ let access t ~proc ~addr ~write ~now =
   else c.Counters.loads <- c.Counters.loads + 1;
   let lat = ref 0 in
   let page = addr lsr t.page_shift in
+  (* injected TLB-shootdown fault: periodically drop this processor's
+     translations (costs only the refill misses) *)
+  t.accesses.(proc) <- t.accesses.(proc) + 1;
+  if Fault.tlb_flush_due t.fault ~accesses:t.accesses.(proc) then
+    Tlb.flush t.tlbs.(proc);
   (* 1. address translation *)
   if not (Tlb.access t.tlbs.(proc) ~page) then begin
     c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
@@ -149,9 +166,13 @@ let access t ~proc ~addr ~write ~now =
             t.ctrs.(q).Counters.invals_received + 1)
         others;
       c.Counters.invals_sent <- c.Counters.invals_sent + List.length others;
-      let route = Topology.route_cycles t.topo ~from_node:my_node ~to_node:home in
+      let route =
+        Topology.route_cycles t.topo ~from_node:my_node ~to_node:home
+        + Fault.link_extra t.fault ~a:my_node ~b:home
+      in
       lat :=
         !lat + t.cfg.Config.l2.Config.hit_cycles + route
+        + Fault.dir_extra t.fault ~home
         + (t.cfg.Config.inval_cycles_per_sharer * List.length others);
       Directory.set_exclusive t.dir ~line:l2_line ~owner:proc;
       Cache.set_dirty l2 ~line:l2_line
@@ -160,7 +181,11 @@ let access t ~proc ~addr ~write ~now =
       (* L2 miss: directory transaction at the page's home node *)
       c.Counters.l2_misses <- c.Counters.l2_misses + 1;
       let arrival = now + !lat in
-      let base_lat = Topology.mem_latency t.topo ~proc_node:my_node ~home_node:home in
+      let base_lat =
+        Topology.mem_latency t.topo ~proc_node:my_node ~home_node:home
+        + Fault.link_extra t.fault ~a:my_node ~b:home
+        + Fault.dir_extra t.fault ~home
+      in
       (* who supplies the data? *)
       let dirty_owner =
         match Directory.state t.dir ~line:l2_line with
@@ -176,7 +201,8 @@ let access t ~proc ~addr ~write ~now =
           let q_node = Config.node_of_proc t.cfg q in
           lat :=
             !lat + base_lat + t.cfg.Config.dirty_transfer_extra_cycles
-            + Topology.route_cycles t.topo ~from_node:q_node ~to_node:my_node;
+            + Topology.route_cycles t.topo ~from_node:q_node ~to_node:my_node
+            + Fault.link_extra t.fault ~a:q_node ~b:my_node;
           enqueue_writeback t ~phys_line:l2_line ~now:arrival;
           if write then begin
             ignore (smash_line t ~victim:q ~phys_line:l2_line);
@@ -233,3 +259,76 @@ let access t ~proc ~addr ~write ~now =
   end;
   c.Counters.mem_stall_cycles <- c.Counters.mem_stall_cycles + !lat;
   !lat
+
+(* ------------------------------------------------------------------ *)
+(* Invariant auditor (on demand; scans are O(cache lines + directory +
+   pagetable), never on the access fast path) *)
+
+let audit t =
+  let vs = ref [] in
+  let add x = vs := x :: !vs in
+  let n = t.cfg.Config.nprocs in
+  (* coherence: directory vs. the caches it claims to track *)
+  Directory.iter t.dir (fun ~line st ->
+      match st with
+      | Directory.Uncached -> ()
+      | Directory.Exclusive q ->
+          if not (Cache.probe t.l2s.(q) ~line) then
+            add
+              (Audit.v "single-writer"
+                 "line %d: exclusive owner p%d does not hold the line" line q);
+          for p = 0 to n - 1 do
+            if p <> q && Cache.probe t.l2s.(p) ~line then
+              add
+                (Audit.v "single-writer"
+                   "line %d: exclusive to p%d but also cached by p%d" line q p)
+          done
+      | Directory.Shared s ->
+          Bitset.iter
+            (fun p ->
+              if not (Cache.probe t.l2s.(p) ~line) then
+                add
+                  (Audit.v "sharers-present"
+                     "line %d: directory lists sharer p%d but p%d's L2 lost it"
+                     line p p))
+            s);
+  for p = 0 to n - 1 do
+    (* every cached L2 line must be tracked by the directory, and a dirty
+       copy implies exclusive ownership *)
+    Cache.iter_resident t.l2s.(p) (fun ~line ~dirty ->
+        (match Directory.state t.dir ~line with
+        | Directory.Exclusive q when q = p -> ()
+        | Directory.Shared s when Bitset.mem s p ->
+            if dirty then
+              add
+                (Audit.v "dirty-exclusive"
+                   "line %d: dirty in p%d's L2 but only shared" line p)
+        | st ->
+            add
+              (Audit.v "directory-tracking"
+                 "line %d: cached by p%d but directory says %s" line p
+                 (match st with
+                 | Directory.Uncached -> "uncached"
+                 | Directory.Shared _ -> "shared elsewhere"
+                 | Directory.Exclusive q -> Printf.sprintf "exclusive to p%d" q))));
+    (* L1 inclusion: every L1 line must lie under a resident L2 line *)
+    let l1b = t.cfg.Config.l1.Config.line_bytes
+    and l2b = t.cfg.Config.l2.Config.line_bytes in
+    Cache.iter_resident t.l1s.(p) (fun ~line ~dirty:_ ->
+        let l2_line = line * l1b / l2b in
+        if not (Cache.probe t.l2s.(p) ~line:l2_line) then
+          add
+            (Audit.v "l1-inclusion"
+               "p%d: L1 line %d resident without covering L2 line %d" p line
+               l2_line));
+    (* TLB/pagetable agreement: a cached translation must be placed *)
+    Tlb.iter_resident t.tlbs.(p) (fun ~page ->
+        match Pagetable.home_opt t.pt ~page with
+        | Some _ -> ()
+        | None ->
+            add
+              (Audit.v "tlb-pagetable"
+                 "p%d: TLB caches page %d which the pagetable never placed" p
+                 page))
+  done;
+  List.rev_append !vs (Pagetable.audit t.pt)

@@ -19,8 +19,14 @@
 
 type t
 
-val create : Config.t -> policy:Pagetable.policy -> t
+val create : Config.t -> policy:Pagetable.policy -> ?fault:Ddsm_check.Fault.t -> unit -> t
+(** [fault] (default {!Ddsm_check.Fault.none}) installs a deterministic
+    fault plan: slow memory modules, hot directories, congested links and
+    periodic TLB shootdowns perturb the latencies charged by {!access} —
+    and only the latencies, never values. *)
+
 val config : t -> Config.t
+val fault : t -> Ddsm_check.Fault.t
 val topology : t -> Topology.t
 
 val access : t -> proc:int -> addr:int -> write:bool -> now:int -> int
@@ -46,3 +52,11 @@ val reset_counters : t -> unit
 
 val pagetable : t -> Pagetable.t
 val directory : t -> Directory.t
+
+val audit : t -> Ddsm_check.Audit.violation list
+(** On-demand invariant audit of the whole machine: single-writer
+    coherence, directory/cache agreement (sharers hold the line, cached
+    lines are tracked, dirty implies exclusive), L1⊆L2 inclusion,
+    TLB/pagetable agreement, and physical-frame uniqueness. Returns the
+    empty list when every invariant holds. Scans all machine state — call
+    it between phases or after a run, not per access. *)

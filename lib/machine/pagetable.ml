@@ -119,4 +119,30 @@ let frame t ~page =
 let pages_on_node t ~node =
   Hashtbl.fold (fun _ e acc -> if e.node = node then acc + 1 else acc) t.table 0
 
+let iter t f = Hashtbl.iter (fun page e -> f ~page ~node:e.node ~frame:e.frame) t.table
+
+(* physical frames are unique, and (outside the overflow region used when
+   the whole machine is full) a frame decodes back to the node its page is
+   placed on *)
+let audit t =
+  let module Audit = Ddsm_check.Audit in
+  let vs = ref [] in
+  let frames = Hashtbl.create (Hashtbl.length t.table) in
+  iter t (fun ~page ~node ~frame ->
+      (match Hashtbl.find_opt frames frame with
+      | Some other ->
+          vs :=
+            Audit.v "frame-uniqueness"
+              "frame %d assigned to both page %d and page %d" frame other page
+            :: !vs
+      | None -> Hashtbl.add frames frame page);
+      let overflow = frame >= t.nnodes * frame_stride t in
+      if (not overflow) && node_of_frame t frame <> node then
+        vs :=
+          Audit.v "frame-node"
+            "page %d: placed on node %d but frame %d decodes to node %d" page
+            node frame (node_of_frame t frame)
+          :: !vs);
+  List.rev !vs
+
 let placed_pages t = Hashtbl.length t.table

@@ -33,3 +33,4 @@ let access t ~page =
 let flush t = Hashtbl.reset t.table
 let entries t = t.entries
 let resident t = Hashtbl.length t.table
+let iter_resident t f = Hashtbl.iter (fun page _ -> f ~page) t.table

@@ -16,3 +16,6 @@ val flush : t -> unit
 val entries : t -> int
 val resident : t -> int
 (** Number of currently valid entries. *)
+
+val iter_resident : t -> (page:int -> unit) -> unit
+(** Visit every resident translation; used by the invariant auditor. *)

@@ -24,9 +24,41 @@ type t = {
   reshaped : bool;
   storage : storage;
   meta : int option;
+  canaries : (int * int) list;
 }
 
 let default_lower extents = Array.map (fun _ -> 1) extents
+
+(* ------------------------------------------------------------------ *)
+(* Heap canaries: one guard word on each side of every allocation this
+   module makes (array storage, descriptor blocks, reshaped portions). A
+   canary is written to BOTH heap planes, so an overrun through either the
+   int or the real path trips it. Checked by {!audit}. *)
+
+let canary_pattern name k = 0x5EED0A11 lxor Hashtbl.hash (name, k) lxor (k * 77)
+
+let plant heap ~name ~k addr =
+  let pat = canary_pattern name k in
+  Heap.set_int heap addr pat;
+  Heap.set_real heap addr (float_of_int pat);
+  (addr, pat)
+
+let audit t heap =
+  List.concat_map
+    (fun (addr, pat) ->
+      let int_ok = Heap.get_int heap addr = pat in
+      let real_ok = Heap.get_real heap addr = float_of_int pat in
+      if int_ok && real_ok then []
+      else
+        [
+          Ddsm_check.Audit.v "heap-canary"
+            "array %s: guard word at %d overwritten (%s plane)" t.name addr
+            (match (int_ok, real_ok) with
+            | false, false -> "both"
+            | false, true -> "int"
+            | _ -> "real");
+        ])
+    t.canaries
 
 let element_count t = Array.fold_left ( * ) 1 t.extents
 
@@ -43,7 +75,9 @@ let alloc_plain heap ~name ~elem ~extents ?lower ~page_words () =
     invalid_arg "Darray.alloc_plain: lower-bound arity mismatch";
   let words = Array.fold_left ( * ) 1 extents in
   let padded = (words + page_words - 1) / page_words * page_words in
+  let pre = plant heap ~name ~k:0 (Heap.alloc heap ~words:1 ~align_words:1) in
   let base = Heap.alloc heap ~words:padded ~align_words:page_words in
+  let post = plant heap ~name ~k:1 (Heap.alloc heap ~words:1 ~align_words:1) in
   {
     name;
     elem;
@@ -53,6 +87,7 @@ let alloc_plain heap ~name ~elem ~extents ?lower ~page_words () =
     reshaped = false;
     storage = Normal { base };
     meta = None;
+    canaries = [ pre; post ];
   }
 
 (* Page-placement map for a regular distribution: each page goes to the node
@@ -76,21 +111,24 @@ let regular_page_homes mem layout ~base_word =
   homes
 
 (* Allocate and fill the descriptor block (distribution parameters and,
-   for reshaped arrays, the processor-pointer slots) for a layout. *)
-let alloc_meta heap layout =
+   for reshaped arrays, the processor-pointer slots) for a layout. Returns
+   the block address and the guard words planted around it. *)
+let alloc_meta heap ~name layout =
   let ndims = Array.length layout.Layout.extents in
   let np = Layout.nprocs layout in
   let stor = Layout.storage_extents layout in
+  let pre = plant heap ~name ~k:2 (Heap.alloc heap ~words:1 ~align_words:1) in
   let meta_base =
     Heap.alloc heap ~words:(Meta.size ~ndims ~nprocs:np) ~align_words:1
   in
+  let post = plant heap ~name ~k:3 (Heap.alloc heap ~words:1 ~align_words:1) in
   Array.iteri
     (fun d (dm : Dim_map.t) ->
       Heap.set_int heap (meta_base + Meta.procs_off ~dim:d) dm.Dim_map.procs;
       Heap.set_int heap (meta_base + Meta.block_off ~dim:d) dm.Dim_map.block;
       Heap.set_int heap (meta_base + Meta.stor_off ~dim:d) stor.(d))
     layout.Layout.dims;
-  meta_base
+  (meta_base, [ pre; post ])
 
 let alloc_regular heap mem ~name ~elem ~extents ?lower ~kinds ?onto ~nprocs () =
   let cfg = Memsys.config mem in
@@ -100,7 +138,13 @@ let alloc_regular heap mem ~name ~elem ~extents ?lower ~kinds ?onto ~nprocs () =
   let base = match t.storage with Normal { base } -> base | _ -> assert false in
   let homes = regular_page_homes mem layout ~base_word:base in
   Hashtbl.iter (fun pg node -> Memsys.place_page mem ~page:pg ~node) homes;
-  { t with layout = Some layout; meta = Some (alloc_meta heap layout) }
+  let meta_base, meta_canaries = alloc_meta heap ~name layout in
+  {
+    t with
+    layout = Some layout;
+    meta = Some meta_base;
+    canaries = t.canaries @ meta_canaries;
+  }
 
 let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
     ~nprocs () =
@@ -112,11 +156,17 @@ let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
   let stor = Layout.storage_extents layout in
   let portion_words = Array.fold_left ( * ) 1 stor in
   (* descriptor block: distribution parameters + processor-pointer array *)
-  let meta_base = alloc_meta heap layout in
+  let meta_base, meta_canaries = alloc_meta heap ~name layout in
+  let canaries = ref meta_canaries in
   let bases =
     Array.init np (fun p ->
         let base = Pools.alloc pools ~proc:p ~words:portion_words in
         Heap.set_int heap (meta_base + Meta.bases_off ~ndims + p) base;
+        (* trailing guard from the same pool, directly after the portion *)
+        let g =
+          plant heap ~name ~k:(4 + p) (Pools.alloc pools ~proc:p ~words:1)
+        in
+        canaries := g :: !canaries;
         base)
   in
   {
@@ -128,6 +178,7 @@ let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
     reshaped = true;
     storage = Reshaped { meta_base; bases; portion_words };
     meta = Some meta_base;
+    canaries = !canaries;
   }
 
 let meta_base t =

@@ -57,7 +57,15 @@ type t = {
       (** word address of the descriptor block; present for every
           distributed array (regular or reshaped) so compiled affinity
           scheduling can load [P] and [b] at runtime *)
+  canaries : (int * int) list;
+      (** guard words [(addr, pattern)] planted around every allocation
+          this array owns (storage, descriptor block, reshaped portions);
+          checked by {!audit} *)
 }
+
+val audit : t -> Heap.t -> Ddsm_check.Audit.violation list
+(** Check every guard word of the array in both heap planes; a violation
+    names the clobbered address and which plane was overwritten. *)
 
 val alloc_plain :
   Heap.t -> name:string -> elem:elem -> extents:int array ->

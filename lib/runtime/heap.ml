@@ -8,6 +8,8 @@ type t = { reals : reals; ints : ints; mutable brk : int }
 
 let word_bytes = 8
 
+exception Out_of_memory of string
+
 let create ~words =
   if words < 1 then invalid_arg "Heap.create";
   let reals = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout words in
@@ -22,7 +24,12 @@ let used_words t = t.brk
 let alloc t ~words ~align_words =
   if words < 0 || align_words < 1 then invalid_arg "Heap.alloc";
   let base = (t.brk + align_words - 1) / align_words * align_words in
-  if base + words > size_words t then failwith "out of simulated memory";
+  if base + words > size_words t then
+    raise
+      (Out_of_memory
+         (Printf.sprintf
+            "out of simulated memory: need %d words at %d, heap holds %d"
+            words base (size_words t)));
   t.brk <- base + words;
   base
 

@@ -15,6 +15,11 @@ type t
 val word_bytes : int
 (** 8 — everything the simulated programs store is one 8-byte word. *)
 
+exception Out_of_memory of string
+(** Raised by {!alloc} when the simulated heap is exhausted — a resource
+    error of the simulated program, distinct from [Failure] so it is never
+    mistaken for an internal invariant violation. *)
+
 val create : words:int -> t
 val size_words : t -> int
 val used_words : t -> int
@@ -22,7 +27,7 @@ val used_words : t -> int
 val alloc : t -> words:int -> align_words:int -> int
 (** [alloc t ~words ~align_words] reserves [words] words aligned to
     [align_words] and returns the first word address. Raises
-    [Failure "out of simulated memory"] when exhausted. *)
+    {!Out_of_memory} when exhausted. *)
 
 val get_real : t -> int -> float
 val set_real : t -> int -> float -> unit

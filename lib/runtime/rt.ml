@@ -1,5 +1,7 @@
 open Ddsm_machine
 
+type redist = { moved : int; retries : int; fell_back : bool }
+
 type t = {
   heap : Heap.t;
   mem : Memsys.t;
@@ -7,12 +9,16 @@ type t = {
   argcheck : Argcheck.t;
   arrays : (string, Darray.t) Hashtbl.t;
   mutable redist_pages : int;
+  mutable redist_attempts : int;
+  mutable redist_retries : int;
+  mutable redist_fallbacks : int;
   job_procs : int;
 }
 
-let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs () =
+let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
+    ?(fault = Ddsm_check.Fault.none) () =
   let heap = Heap.create ~words:heap_words in
-  let mem = Memsys.create cfg ~policy in
+  let mem = Memsys.create cfg ~policy ~fault () in
   let job_procs =
     match job_procs with
     | None -> cfg.Config.nprocs
@@ -28,6 +34,9 @@ let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs () =
     argcheck = Argcheck.create ();
     arrays = Hashtbl.create 64;
     redist_pages = 0;
+    redist_attempts = 0;
+    redist_retries = 0;
+    redist_fallbacks = 0;
     job_procs;
   }
 
@@ -55,15 +64,39 @@ let declare_reshaped t ~name ~elem ~extents ?lower ~kinds ?onto () =
     (Darray.alloc_reshaped t.heap t.mem t.pools ~name ~elem ~extents ?lower
        ~kinds ?onto ~nprocs:t.job_procs ())
 
+(* At most this many tries per redistribute call before giving up and
+   keeping the old placement. *)
+let max_redist_attempts = 3
+
 let redistribute t ~name ~kinds ?onto () =
   match Hashtbl.find_opt t.arrays name with
   | None -> Error (Printf.sprintf "redistribute: unknown array %s" name)
-  | Some a -> (
-      match Darray.redistribute a t.heap t.mem ~kinds ?onto ~nprocs:t.job_procs () with
-      | Ok moved ->
-          t.redist_pages <- t.redist_pages + moved;
-          Ok moved
-      | Error _ as e -> e)
+  | Some a ->
+      let fault = Memsys.fault t.mem in
+      (* Injected retryable failures (a busy OS refusing the migration):
+         retry with bounded attempts, and if every attempt fails fall back
+         to the old placement — the program stays correct, only slower. *)
+      let rec go tries =
+        let attempt = t.redist_attempts in
+        t.redist_attempts <- attempt + 1;
+        if Ddsm_check.Fault.redist_attempt_fails fault ~attempt then
+          if tries + 1 >= max_redist_attempts then (
+            t.redist_fallbacks <- t.redist_fallbacks + 1;
+            Ok { moved = 0; retries = tries; fell_back = true })
+          else (
+            t.redist_retries <- t.redist_retries + 1;
+            go (tries + 1))
+        else
+          match
+            Darray.redistribute a t.heap t.mem ~kinds ?onto
+              ~nprocs:t.job_procs ()
+          with
+          | Ok moved ->
+              t.redist_pages <- t.redist_pages + moved;
+              Ok { moved; retries = tries; fell_back = false }
+          | Error _ as e -> e
+      in
+      go 0
 
 let find_array t name = Hashtbl.find_opt t.arrays name
 
@@ -76,3 +109,12 @@ let write t ~addr ~elem v =
   match (elem : Darray.elem) with
   | Darray.Real -> Heap.set_real t.heap addr v
   | Darray.Int -> Heap.set_int t.heap addr (int_of_float v)
+
+let audit t =
+  let machine = Memsys.audit t.mem in
+  let heap =
+    Hashtbl.fold
+      (fun _ a acc -> List.rev_append (Darray.audit a t.heap) acc)
+      t.arrays []
+  in
+  machine @ heap

@@ -6,6 +6,14 @@
 open Ddsm_dist
 open Ddsm_machine
 
+type redist = {
+  moved : int;  (** pages actually migrated (0 when [fell_back]) *)
+  retries : int;  (** failed attempts before this outcome *)
+  fell_back : bool;
+      (** every attempt failed; the old placement was kept — correct but
+          without the performance benefit of the new distribution *)
+}
+
 type t = {
   heap : Heap.t;
   mem : Memsys.t;
@@ -13,6 +21,13 @@ type t = {
   argcheck : Argcheck.t;
   arrays : (string, Darray.t) Hashtbl.t;
   mutable redist_pages : int;  (** pages moved by redistribute calls *)
+  mutable redist_attempts : int;
+      (** redistribute attempts made (feeds the fault plan's failure
+          schedule) *)
+  mutable redist_retries : int;  (** attempts that failed and were retried *)
+  mutable redist_fallbacks : int;
+      (** redistribute calls that exhausted retries and kept the old
+          placement *)
   job_procs : int;
       (** processors this job runs on (<= machine size): the paper runs
           P-processor jobs on a fixed 128-processor Origin-2000 *)
@@ -20,7 +35,11 @@ type t = {
 
 val create :
   Config.t -> policy:Pagetable.policy -> heap_words:int ->
-  ?pool_slab_pages:int -> ?job_procs:int -> unit -> t
+  ?pool_slab_pages:int -> ?job_procs:int -> ?fault:Ddsm_check.Fault.t ->
+  unit -> t
+(** [fault] installs a deterministic fault plan on the simulated machine
+    (see {!Ddsm_machine.Memsys.create}) and drives the injected
+    redistribution failures consumed by {!redistribute}. *)
 
 val nprocs : t -> int
 (** Job processor count (defaults to the machine size). *)
@@ -45,8 +64,13 @@ val declare_reshaped :
 
 val redistribute :
   t -> name:string -> kinds:Kind.t array -> ?onto:int array -> unit ->
-  (int, string) result
-(** Returns migrated page count; the VM charges the migration cost. *)
+  (redist, string) result
+(** Re-home a regular distributed array. The fault plan may inject
+    retryable failures: the call retries (bounded) and, if every attempt
+    fails, falls back to the old placement with [fell_back = true] — the
+    caller charges backoff cost per retry but the program's results are
+    unaffected. [Error] is reserved for real misuse (unknown, reshaped or
+    plain arrays). *)
 
 val find_array : t -> string -> Darray.t option
 
@@ -55,3 +79,7 @@ val read : t -> addr:int -> elem:Darray.elem -> float
     untyped data path. *)
 
 val write : t -> addr:int -> elem:Darray.elem -> float -> unit
+
+val audit : t -> Ddsm_check.Audit.violation list
+(** Full runtime audit: the machine invariants ({!Memsys.audit}) plus the
+    heap canaries of every registered array. Empty when clean. *)

@@ -40,7 +40,9 @@ let run ?flags ?allow_formal_dists ?(nprocs = 4)
   let prog = build ?flags ?allow_formal_dists src in
   let cfg = Config.scaled ~nprocs () in
   let rt = Rt.create cfg ~policy ~heap_words:(1 lsl 20) () in
-  (Engine.run prog ~rt ~checks ~bounds:true (), rt)
+  (Result.map_error Ddsm_check.Diag.to_string
+     (Engine.run prog ~rt ~checks ~bounds:true ()),
+   rt)
 
 let run_ok ?flags ?allow_formal_dists ?nprocs ?policy ?checks src =
   match fst (run ?flags ?allow_formal_dists ?nprocs ?policy ?checks src) with
@@ -729,7 +731,11 @@ let test_cycle_limit () =
   let cfg = Config.scaled ~nprocs:1 () in
   let rt = Rt.create cfg ~policy:Pagetable.First_touch ~heap_words:65536 () in
   match Engine.run prog ~rt ~max_cycles:100_000 () with
-  | Error m -> check_bool "limit reported" true (String.length m > 0)
+  | Error d -> (
+      match d.Ddsm_check.Diag.reason with
+      | Ddsm_check.Diag.Cycle_budget { limit } ->
+          check_int "budget echoed" 100_000 limit
+      | _ -> Alcotest.failf "wrong reason: %s" (Ddsm_check.Diag.headline d))
   | Ok _ -> Alcotest.fail "expected cycle-limit error"
 
 let test_cycles_monotone_with_work () =
@@ -992,7 +998,11 @@ let test_heap_exhaustion_reported () =
   let cfg = Config.scaled ~nprocs:1 () in
   let rt = Rt.create cfg ~policy:Pagetable.First_touch ~heap_words:1024 () in
   match Engine.run prog ~rt () with
-  | Error m -> check_bool "message" true (String.length m > 0)
+  | Error d ->
+      check_bool "reported as a user resource error, not internal" false
+        (Ddsm_check.Diag.is_internal d);
+      check_bool "message" true
+        (String.length (Ddsm_check.Diag.headline d) > 0)
   | Ok _ -> Alcotest.fail "expected out-of-memory"
 
 let test_counters_populated () =

@@ -53,7 +53,7 @@ let run_linked ?(nprocs = 4) l =
   let rt = Rt.create cfg ~policy:Pagetable.First_touch ~heap_words:(1 lsl 20) () in
   match Engine.run prog ~rt ~bounds:true () with
   | Ok o -> String.concat "\n" o.Engine.prints
-  | Error m -> Alcotest.failf "run: %s" m
+  | Error m -> Alcotest.failf "run: %s" (Ddsm_check.Diag.to_string m)
 
 (* ------------------------------------------------------------------ *)
 (* Signatures *)

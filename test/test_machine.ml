@@ -253,7 +253,7 @@ let test_directory_transitions () =
 (* Memsys: end-to-end scenarios *)
 
 let mk ?(policy = Pagetable.First_touch) ?(cfg = tiny ()) () =
-  Memsys.create cfg ~policy
+  Memsys.create cfg ~policy ()
 
 let test_memsys_cold_then_hot () =
   let m = mk () in

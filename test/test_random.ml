@@ -12,6 +12,7 @@ module K = Ddsm_dist.Kind
 module Config = Ddsm_machine.Config
 module Pagetable = Ddsm_machine.Pagetable
 module Rt = Ddsm_runtime.Rt
+module Fault = Ddsm_check.Fault
 
 (* ------------------------------------------------------------------ *)
 (* program generator *)
@@ -170,41 +171,108 @@ let build ~flags src =
                ~main:
                  (List.hd envs).Sema.routine.Ddsm_ir.Decl.rname))
 
-let run ~flags ~nprocs ~policy src =
+let run ?(fault = Fault.none) ~flags ~nprocs ~policy src =
   match build ~flags src with
   | Error e -> Error e
   | Ok prog -> (
       let cfg = Config.scaled ~nprocs:(max nprocs 8) () in
-      let rt = Rt.create cfg ~policy ~heap_words:(1 lsl 18) ~job_procs:nprocs () in
+      let rt =
+        Rt.create cfg ~policy ~heap_words:(1 lsl 18) ~job_procs:nprocs ~fault ()
+      in
       match Engine.run prog ~rt ~bounds:true () with
-      | Ok o -> Ok (String.concat "|" o.Engine.prints)
-      | Error m -> Error ("run: " ^ m))
+      | Ok o -> Ok (String.concat "|" o.Engine.prints, rt)
+      | Error m -> Error ("run: " ^ Ddsm_check.Diag.to_string m))
 
 let differential gen count () =
   let rng = Random.State.make [| 0xd15c0; count |] in
-  for _ = 1 to count do
+  for round = 1 to count do
     let { src; label } = gen rng in
     match run ~flags:Flags.all_off ~nprocs:1 ~policy:Pagetable.First_touch src with
     | Error e -> Alcotest.failf "%s: reference failed: %s\n%s" label e src
-    | Ok reference ->
+    | Ok (reference, _) ->
         List.iter
-          (fun (flags, nprocs, policy) ->
-            match run ~flags ~nprocs ~policy src with
+          (fun (flags, nprocs, policy, fault) ->
+            match run ~fault ~flags ~nprocs ~policy src with
             | Error e -> Alcotest.failf "%s [np=%d]: %s\n%s" label nprocs e src
-            | Ok got ->
+            | Ok (got, _) ->
                 if got <> reference then
                   Alcotest.failf "%s [np=%d]: got %s, want %s\n%s" label nprocs
                     got reference src)
           [
-            (Flags.all_on, 1, Pagetable.First_touch);
-            (Flags.all_on, 4, Pagetable.First_touch);
-            (Flags.all_on, 7, Pagetable.Round_robin);
-            (Flags.all_on, 8, Pagetable.First_touch);
-            (Flags.tile_peel, 5, Pagetable.First_touch);
-            ({ Flags.all_on with Flags.peel = false }, 4, Pagetable.First_touch);
-            (Flags.all_off, 6, Pagetable.Round_robin);
+            (Flags.all_on, 1, Pagetable.First_touch, Fault.none);
+            (Flags.all_on, 4, Pagetable.First_touch, Fault.none);
+            (Flags.all_on, 7, Pagetable.Round_robin, Fault.none);
+            (Flags.all_on, 8, Pagetable.First_touch, Fault.none);
+            (Flags.tile_peel, 5, Pagetable.First_touch, Fault.none);
+            ({ Flags.all_on with Flags.peel = false }, 4, Pagetable.First_touch,
+             Fault.none);
+            (Flags.all_off, 6, Pagetable.Round_robin, Fault.none);
+            (* seeded fault plans: perturb timing, must not perturb output *)
+            (Flags.all_on, 4, Pagetable.First_touch,
+             Fault.random ~seed:round ~nnodes:2);
+            (Flags.all_on, 8, Pagetable.Round_robin,
+             Fault.random ~seed:(round + 1000) ~nnodes:4);
+            (Flags.all_off, 6, Pagetable.First_touch,
+             Fault.make ~slow_nodes:[ (0, 120) ] ~tlb_flush_period:64
+               ~redist_fail:2 ());
           ]
   done
+
+(* ------------------------------------------------------------------ *)
+(* Injected redistribution failures: the program must compute the same
+   checksum whether the page migration succeeds, succeeds after retries,
+   or falls back to the old placement — and the retry/fallback machinery
+   must actually fire. *)
+
+let redist_src =
+  {|
+      program rd
+      integer n, i, it
+      parameter (n = 1024)
+      real*8 a(n), s
+c$distribute a(block)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = mod(i * 11, 19)
+      enddo
+c$redistribute a(cyclic)
+      do it = 1, 2
+c$doacross local(i) affinity(i) = data(a(i))
+        do i = 1, n
+          a(i) = a(i) * 0.5 + 1.0
+        enddo
+      enddo
+      s = 0.0
+      do i = 1, n
+        s = s + a(i)
+      enddo
+      print *, s
+      end
+|}
+
+let redist_failures () =
+  let go fault =
+    match run ~fault ~flags:Flags.all_on ~nprocs:4 ~policy:Pagetable.First_touch
+            redist_src
+    with
+    | Error e -> Alcotest.failf "redist run failed: %s" e
+    | Ok (out, rt) -> (out, rt)
+  in
+  let clean_out, clean_rt = go Fault.none in
+  Alcotest.(check int) "clean run retries nothing" 0 clean_rt.Rt.redist_retries;
+  Alcotest.(check bool) "clean run moved pages" true (clean_rt.Rt.redist_pages > 0);
+  (* two injected failures: the third attempt succeeds *)
+  let retry_out, retry_rt = go (Fault.make ~redist_fail:2 ()) in
+  Alcotest.(check string) "output unchanged by retries" clean_out retry_out;
+  Alcotest.(check int) "two retries recorded" 2 retry_rt.Rt.redist_retries;
+  Alcotest.(check int) "no fallback" 0 retry_rt.Rt.redist_fallbacks;
+  Alcotest.(check int) "pages still moved" clean_rt.Rt.redist_pages
+    retry_rt.Rt.redist_pages;
+  (* persistent failure: every attempt fails, placement falls back *)
+  let fb_out, fb_rt = go (Fault.make ~redist_fail:100 ()) in
+  Alcotest.(check string) "output unchanged by fallback" clean_out fb_out;
+  Alcotest.(check bool) "fallback recorded" true (fb_rt.Rt.redist_fallbacks > 0);
+  Alcotest.(check int) "no pages moved on fallback" 0 fb_rt.Rt.redist_pages
 
 let () =
   Alcotest.run "random-differential"
@@ -213,5 +281,9 @@ let () =
         [
           Alcotest.test_case "1-D programs" `Slow (differential gen_1d 40);
           Alcotest.test_case "2-D programs" `Slow (differential gen_2d 25);
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "redistribution failures" `Quick redist_failures;
         ] );
     ]

@@ -120,7 +120,7 @@ let test_staged_pipeline_and_image () =
     let rt = Ddsm.make_rt ~nprocs:4 () in
     match Ddsm.run prog ~rt () with
     | Ok o -> o.Ddsm.Engine.prints
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Ddsm.Diag.to_string e)
   in
   Alcotest.(check (list string)) "direct" [ "2080" ] (run prog);
   Alcotest.(check (list string)) "via image" [ "2080" ]

@@ -47,7 +47,7 @@ let test_heap_alloc () =
     (try
        ignore (Heap.alloc h ~words:10_000 ~align_words:1);
        false
-     with Failure _ -> true)
+     with Heap.Out_of_memory _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Pools *)
@@ -277,8 +277,10 @@ let test_redistribute_moves_pages () =
        ~kinds:[| Kind.Star; Kind.Block |] ());
   match Rt.redistribute rt ~name:"A" ~kinds:[| Kind.Star; Kind.Cyclic |] () with
   | Error e -> Alcotest.fail e
-  | Ok moved ->
+  | Ok { Rt.moved; retries; fell_back } ->
       check_bool "some pages moved" true (moved > 0);
+      check_int "no retries without faults" 0 retries;
+      check_bool "no fallback without faults" false fell_back;
       check_int "accounted" moved rt.Rt.redist_pages
 
 let test_redistribute_rejects_reshaped () =
