@@ -24,7 +24,7 @@ let compile ?(flags = Flags.all_on) src =
       | Error es -> failwith (String.concat "\n" es)
       | Ok (prog, _) -> prog)
 
-let run_prog ~setup ~version ~nprocs prog =
+let run_prog ?profile ~setup ~version ~nprocs prog =
   let policy = Workloads.policy_of version in
   let module Config = Ddsm_machine.Config in
   let cfg =
@@ -39,7 +39,7 @@ let run_prog ~setup ~version ~nprocs prog =
     Ddsm_runtime.Rt.create cfg ~policy ~heap_words:setup.heap_words
       ~job_procs:nprocs ()
   in
-  match Ddsm.run prog ~rt ~checks:false () with
+  match Ddsm.run prog ~rt ~checks:false ?profile () with
   | Ok o -> o
   | Error m -> failwith ("bench run failed: " ^ Ddsm.Diag.to_string m)
 
@@ -75,6 +75,65 @@ let total_cycles ?flags ~setup ~version ~nprocs src =
 
 let outcome ?flags ~setup ~version ~nprocs src =
   run_prog ~setup ~version ~nprocs (compile ?flags src)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_*.json snapshots: machine-readable counters + cycle attribution
+   per experiment, for offline comparison across versions of the code. *)
+
+module Json = Ddsm.Json
+
+let json_of_counters c =
+  Json.Obj
+    (List.map
+       (fun (k, v) -> (k, Json.Int v))
+       (Ddsm_machine.Counters.to_assoc c))
+
+(* one configured run with the profiler attached: the counters plus the
+   region x array x cause attribution for that version *)
+let version_snapshot ?flags ~setup ~version ~nprocs src =
+  let profile = Ddsm.Profile.create () in
+  let o = run_prog ~profile ~setup ~version ~nprocs (compile ?flags src) in
+  Json.Obj
+    [
+      ("version", Json.Str (Workloads.version_label version));
+      ("nprocs", Json.Int nprocs);
+      ("cycles", Json.Int o.Ddsm.Engine.cycles);
+      ("counters", json_of_counters o.Ddsm.Engine.counters);
+      ("attribution", Ddsm.Profile.attribution_json profile);
+    ]
+
+let json_of_series series =
+  Json.List
+    (List.map
+       (fun (_, s) ->
+         Json.Obj
+           [
+             ("label", Json.Str s.Ddsm_report.Series.label);
+             ( "points",
+               Json.List
+                 (List.map
+                    (fun p ->
+                      Json.Obj
+                        [
+                          ("x", Json.Int p.Ddsm_report.Series.x);
+                          ("y", Json.Float p.Ddsm_report.Series.y);
+                        ])
+                    s.Ddsm_report.Series.points) );
+           ])
+       series)
+
+(* an unwritable working directory downgrades the snapshot to a warning —
+   the measurements themselves have already been printed *)
+let write_json ppf ~path j =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Json.to_channel oc j;
+        output_char oc '\n');
+    Format.fprintf ppf "  snapshot: %s@." path
+  with Sys_error m -> Format.fprintf ppf "  snapshot skipped: %s@." m
 
 (* speedup series over a processor sweep, relative to [baseline] cycles *)
 let speedup_series ~label ~baseline measurements =

@@ -37,13 +37,16 @@ let table2 ~quick =
   let measure ?flags version =
     H.phase_cycles ?flags ~setup ~version ~nprocs:1 ~mk:(mk version) ~iters:1 ()
   in
-  let rows =
+  let configs =
     [
-      ("Reshape, no optimizations", measure ~flags:Flags.all_off W.Reshaped, 83.91);
-      ("Reshape, tile and peel", measure ~flags:Flags.tile_peel W.Reshaped, 53.26);
-      ("Reshape, tile and peel, hoist", measure ~flags:Flags.tile_peel_hoist W.Reshaped, 46.23);
-      ("Original code without reshaping", measure ~flags:Flags.all_on W.First_touch, 45.71);
+      ("Reshape, no optimizations", Flags.all_off, W.Reshaped, 83.91);
+      ("Reshape, tile and peel", Flags.tile_peel, W.Reshaped, 53.26);
+      ("Reshape, tile and peel, hoist", Flags.tile_peel_hoist, W.Reshaped, 46.23);
+      ("Original code without reshaping", Flags.all_on, W.First_touch, 45.71);
     ]
+  in
+  let rows =
+    List.map (fun (l, flags, v, paper) -> (l, measure ~flags v, paper)) configs
   in
   let _, base, pbase = List.nth rows 3 in
   Format.fprintf ppf "%-36s %14s %10s %12s %10s@." "Optimization" "cycles"
@@ -64,7 +67,28 @@ let table2 ~quick =
        (float_of_int (cyc 2) /. float_of_int base < 1.15));
   ignore
     (H.check ppf "unoptimized reshaped code much slower than original (>= 1.5x)"
-       (float_of_int (cyc 0) /. float_of_int base >= 1.5))
+       (float_of_int (cyc 0) /. float_of_int base >= 1.5));
+  let open H.Json in
+  H.write_json ppf ~path:"BENCH_table2.json"
+    (Obj
+       [
+         ("experiment", Str "table2");
+         ("quick", Bool quick);
+         ( "rows",
+           List
+             (List.map2
+                (fun (label, cycles, paper) (_, flags, v, _) ->
+                  Obj
+                    [
+                      ("label", Str label);
+                      ("phase_cycles", Int cycles);
+                      ("paper_seconds", Float paper);
+                      ( "snapshot",
+                        H.version_snapshot ~flags ~setup ~version:v ~nprocs:1
+                          (mk v ~iters:1) );
+                    ])
+                rows configs) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* generic speedup experiment *)
@@ -142,7 +166,22 @@ let fig4 ~quick =
       "  L2 misses: %d (P=1) -> %d (P=32), factor %.1f (paper: ~3x from 1 to 16)@."
       m1 m32 (float_of_int m1 /. float_of_int (max 1 m32));
     ignore (H.check ppf "aggregate cache cuts misses (>= 1.3x)" (m1 * 10 >= m32 * 13))
-  end
+  end;
+  let open H.Json in
+  H.write_json ppf ~path:"BENCH_fig4.json"
+    (Obj
+       [
+         ("experiment", Str "fig4");
+         ("quick", Bool quick);
+         ("series", H.json_of_series series);
+         ( "snapshots",
+           List
+             (List.map
+                (fun ver ->
+                  H.version_snapshot ~setup ~version:ver ~nprocs:pmax
+                    (W.lu ~n ~iters:1 ver))
+                all_versions) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: transpose *)
@@ -185,12 +224,27 @@ let fig5 ~quick =
   Format.fprintf ppf
     "  TLB misses at P=%d: round-robin %d, reshaped %d (paper: reshaping less than half the TLB time)@."
     pmax rr rs;
-  ignore (H.check ppf "reshaping reduces TLB misses" (rs < rr))
+  ignore (H.check ppf "reshaping reduces TLB misses" (rs < rr));
+  let open H.Json in
+  H.write_json ppf ~path:"BENCH_fig5.json"
+    (Obj
+       [
+         ("experiment", Str "fig5");
+         ("quick", Bool quick);
+         ("series", H.json_of_series series);
+         ( "snapshots",
+           List
+             (List.map
+                (fun ver ->
+                  H.version_snapshot ~setup ~version:ver ~nprocs:pmax
+                    (W.transpose ~n ~iters:1 ver))
+                all_versions) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Figures 6 and 7: 2-D convolution *)
 
-let conv_figure ~name ~n ~procs ~setup ~quick =
+let conv_figure ~tag ~name ~n ~procs ~setup ~quick =
   let pmax = List.fold_left max 1 procs in
   let pmid = if quick then 4 else if List.mem 32 procs then 32 else 16 in
   (* one level of parallelism: ( *, block ) *)
@@ -225,6 +279,23 @@ let conv_figure ~name ~n ~procs ~setup ~quick =
     (H.check ppf "two levels: round-robin is the best non-reshaped option"
        (v2 W.Round_robin pmax >= v2 W.First_touch pmax
        && v2 W.Round_robin pmax >= v2 W.Regular pmax));
+  let open H.Json in
+  H.write_json ppf
+    ~path:(Printf.sprintf "BENCH_%s.json" tag)
+    (Obj
+       [
+         ("experiment", Str tag);
+         ("quick", Bool quick);
+         ("series_one_level", H.json_of_series s1);
+         ("series_two_level", H.json_of_series s2);
+         ( "snapshots",
+           List
+             (List.map
+                (fun ver ->
+                  H.version_snapshot ~setup ~version:ver ~nprocs:pmax
+                    (W.convolution ~n ~iters:1 ~two_level:false ver))
+                all_versions) );
+       ]);
   (v1, v2)
 
 let fig6 ~quick =
@@ -235,7 +306,9 @@ let fig6 ~quick =
     H.mk_setup ~machine_procs:(List.fold_left max 1 procs) ~factor:64
       ~page_bytes:4096 ~heap_words:(1 lsl 22) ()
   in
-  ignore (conv_figure ~name:"Fig 6 (scaled 1000x1000)" ~n ~procs ~setup ~quick)
+  ignore
+    (conv_figure ~tag:"fig6" ~name:"Fig 6 (scaled 1000x1000)" ~n ~procs ~setup
+       ~quick)
 
 let fig7 ~quick =
   section "Figure 7: 2-D Convolution, large input";
@@ -245,7 +318,10 @@ let fig7 ~quick =
     H.mk_setup ~machine_procs:(List.fold_left max 1 procs) ~factor:64
       ~page_bytes:4096 ~heap_words:(1 lsl 24) ()
   in
-  let v1, _ = conv_figure ~name:"Fig 7 (scaled 5000x5000)" ~n ~procs ~setup ~quick in
+  let v1, _ =
+    conv_figure ~tag:"fig7" ~name:"Fig 7 (scaled 5000x5000)" ~n ~procs ~setup
+      ~quick
+  in
   (* §8.4: on the large input, regular distribution is perfectly adequate
      for ( *, block ): portions are much larger than a page *)
   let pmid = if quick then 4 else 16 in
@@ -281,20 +357,46 @@ let ablate ~quick =
       ("interchange", (fun f v -> { f with Flags.interchange = v }));
     ]
   in
-  List.iter
-    (fun (name, set) ->
-      let without = measure (set Flags.all_on false) in
-      let alone = measure (set Flags.all_off true) in
-      Format.fprintf ppf "%-22s %14d %8.2fx %14d %8.2fx@." name without
-        (float_of_int without /. float_of_int full)
-        alone
-        (float_of_int none /. float_of_int alone))
-    variants;
+  let measured =
+    List.map
+      (fun (name, set) ->
+        let without = measure (set Flags.all_on false) in
+        let alone = measure (set Flags.all_off true) in
+        Format.fprintf ppf "%-22s %14d %8.2fx %14d %8.2fx@." name without
+          (float_of_int without /. float_of_int full)
+          alone
+          (float_of_int none /. float_of_int alone);
+        (name, without, alone))
+      variants
+  in
   Format.fprintf ppf
     "@.('without' = all_on minus the flag, vs. the fully optimized %d;@."
     full;
   Format.fprintf ppf
-    " 'alone' = all_off plus the flag, vs. the unoptimized %d.)@." none
+    " 'alone' = all_off plus the flag, vs. the unoptimized %d.)@." none;
+  let open H.Json in
+  H.write_json ppf ~path:"BENCH_ablate.json"
+    (Obj
+       [
+         ("experiment", Str "ablate");
+         ("quick", Bool quick);
+         ("all_on_cycles", Int full);
+         ("all_off_cycles", Int none);
+         ( "flags",
+           List
+             (List.map
+                (fun (name, without, alone) ->
+                  Obj
+                    [
+                      ("flag", Str name);
+                      ("without_cycles", Int without);
+                      ("alone_cycles", Int alone);
+                    ])
+                measured) );
+         ( "snapshot",
+           H.version_snapshot ~flags:Flags.all_on ~setup ~version:W.Reshaped
+             ~nprocs:1 (mk ~iters:1) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator itself *)

@@ -171,6 +171,13 @@ let () =
     Cmd.info "pflc" ~version:"1.0"
       ~doc:"Compiler for the mini-Fortran data-distribution language (PLDI'97 reproduction)."
   in
+  try
     exit
-    (Cmd.eval
-       (Cmd.group info [ compile_cmd; link_cmd; build_cmd; check_cmd; dump_cmd ]))
+      (Cmd.eval ~catch:false
+         (Cmd.group info [ compile_cmd; link_cmd; build_cmd; check_cmd; dump_cmd ]))
+  with
+  (* OS errors from writing objects/images (unwritable -o path, full disk)
+     are user errors, reported on the documented exit-1 path rather than
+     escaping as uncaught exceptions *)
+  | Sys_error m -> err_exit [ m ]
+  | Failure m -> err_exit [ m ]

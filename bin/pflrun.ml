@@ -7,7 +7,10 @@
    processors").
 
    Exit codes: 0 success; 1 usage/IO; 2 a runtime error of the simulated
-   program; 3 an internal failure of the simulator itself (invariant
+   program — including CLI-level operating-system errors caught below
+   (unwritable --trace output, invalid processor counts) which are routed
+   through Diag as documented user errors rather than escaping as uncaught
+   exceptions; 3 an internal failure of the simulator itself (invariant
    violation, audit failure, differential mismatch). *)
 
 open Cmdliner
@@ -53,10 +56,10 @@ let fail_diag d =
 
 (* One configured run of the linked image; a fresh machine every time. *)
 let run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
-    ~max_cycles ~audit ~fault =
+    ~max_cycles ~audit ~fault ?profile () =
   let prog = Ddsm.prog_of_linked linked in
   let rt = Ddsm.make_rt ~machine ~policy ~heap_words ~fault ~nprocs () in
-  Ddsm.run prog ~rt ~checks ~bounds ?max_cycles ~audit ()
+  Ddsm.run prog ~rt ~checks ~bounds ?max_cycles ~audit ?profile ()
 
 (* --differential N: the transparency oracle. The same image runs under N
    extra configurations with randomized placement policy, processor count
@@ -80,7 +83,7 @@ let differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words ~checks
   let run_cfg ~policy ~nprocs ~fault =
     match
       run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
-        ~max_cycles ~audit ~fault
+        ~max_cycles ~audit ~fault ()
     with
     | Error d ->
         Printf.eprintf "differential: run failed under %s\n%s\n"
@@ -118,32 +121,63 @@ let differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words ~checks
   base
 
 let run image nprocs policy machine heap_words stats no_checks bounds
-    max_cycles fault audit differ seed =
-  match Ddsm.load_image ~path:image with
-  | Error e ->
-      Printf.eprintf "%s\n" e;
-      exit 1
-  | Ok linked -> (
-      let checks = not no_checks in
-      match differ with
-      | Some n when n >= 1 ->
-          ignore
-            (differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words
-               ~checks ~bounds ~max_cycles ~audit)
-      | _ -> (
-          match
-            run_once linked ~nprocs ~policy ~machine ~heap_words ~checks
-              ~bounds ~max_cycles ~audit ~fault
-          with
-          | Error d -> fail_diag d
-          | Ok o ->
-              List.iter print_endline o.Ddsm.Engine.prints;
-              Printf.printf "cycles: %d  (procs: %d)\n" o.Ddsm.Engine.cycles
-                nprocs;
-              if audit then print_endline "audit clean";
-              if stats then
-                Format.printf "%a@." Ddsm_report.Stats.pp
-                  (Ddsm_report.Stats.of_counters o.Ddsm.Engine.counters)))
+    max_cycles fault audit differ seed profile trace =
+  try
+    match Ddsm.load_image ~path:image with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+    | Ok linked -> (
+        let checks = not no_checks in
+        match differ with
+        | Some n when n >= 1 ->
+            ignore
+              (differential linked ~n ~seed ~nprocs ~policy ~machine
+                 ~heap_words ~checks ~bounds ~max_cycles ~audit)
+        | _ -> (
+            let prof =
+              if profile || trace <> None then Some (Ddsm.Profile.create ())
+              else None
+            in
+            match
+              run_once linked ~nprocs ~policy ~machine ~heap_words ~checks
+                ~bounds ~max_cycles ~audit ~fault ?profile:prof ()
+            with
+            | Error d -> fail_diag d
+            | Ok o ->
+                List.iter print_endline o.Ddsm.Engine.prints;
+                Printf.printf "cycles: %d  (procs: %d)\n" o.Ddsm.Engine.cycles
+                  nprocs;
+                if audit then print_endline "audit clean";
+                if stats then begin
+                  Format.printf "%a@." Ddsm_report.Stats.pp
+                    (Ddsm_report.Stats.of_counters o.Ddsm.Engine.counters);
+                  List.iter
+                    (Printf.printf "counter-accounting bug: %s\n")
+                    (Ddsm_report.Stats.audit o.Ddsm.Engine.counters)
+                end;
+                (match prof with
+                | Some p when profile ->
+                    Format.printf "%a"
+                      (Ddsm.Profile.pp_report ~top:12)
+                      p
+                | _ -> ());
+                (match (prof, trace) with
+                | Some p, Some path ->
+                    Ddsm.Profile.write_trace p ~path;
+                    let dropped = Ddsm.Profile.trace_dropped p in
+                    if dropped > 0 then
+                      Printf.printf "trace: %s (%d event(s) dropped)\n" path
+                        dropped
+                    else Printf.printf "trace: %s\n" path
+                | _ -> ())))
+  with
+  (* CLI-level OS/argument failures (unwritable --trace path, bad
+     processor count reaching Rt.create, truncated image file): a
+     documented user-error exit, never an uncaught exception. *)
+  | Sys_error m -> fail_diag (Diag.user ~phase:"cli" m)
+  | Failure m -> fail_diag (Diag.user ~phase:"cli" m)
+  | Invalid_argument m -> fail_diag (Diag.user ~phase:"cli" m)
 
 let () =
   let image = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.pfi") in
@@ -209,12 +243,31 @@ let () =
       & info [ "seed" ] ~docv:"SEED"
           ~doc:"Random seed for $(b,--differential) configurations.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attribute memory-stall cycles to (parallel region, array, \
+             cause) and print the top rows after the run.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's event trace (region enter/exit, barriers, \
+             redistributions, fault injections) as Chrome trace-event JSON \
+             loadable in chrome://tracing or Perfetto.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "pflrun" ~version:"1.0"
          ~doc:"Run a linked image on the simulated Origin-2000.")
       Term.(
         const run $ image $ nprocs $ policy $ machine $ heap $ stats $ no_checks
-        $ bounds $ max_cycles $ fault $ audit $ differential $ seed)
+        $ bounds $ max_cycles $ fault $ audit $ differential $ seed $ profile
+        $ trace)
   in
   exit (Cmd.eval cmd)

@@ -9,6 +9,8 @@ module Rt = Ddsm_runtime.Rt
 module Fault = Ddsm_check.Fault
 module Diag = Ddsm_check.Diag
 module Audit = Ddsm_check.Audit
+module Profile = Ddsm_report.Profile
+module Json = Ddsm_report.Json
 
 type machine = Origin2000 | Scaled of int
 
@@ -48,11 +50,12 @@ let make_rt ?(machine = Scaled 64) ?(policy = Pagetable.First_touch)
   in
   Rt.create cfg ~policy ~heap_words ~job_procs:nprocs ?fault ()
 
-let run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit () =
-  Engine.run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit ()
+let run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit ?profile () =
+  Engine.run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit ?profile
+    ()
 
 let run_source ?flags ?machine ?policy ?heap_words ?machine_procs ?fault
-    ?(nprocs = 8) ?checks ?bounds ?max_cycles ?audit src =
+    ?(nprocs = 8) ?checks ?bounds ?max_cycles ?audit ?profile src =
   match compile_source ?flags ~fname:"<source>" src with
   | Error es -> Error (String.concat "\n" es)
   | Ok obj -> (
@@ -63,7 +66,7 @@ let run_source ?flags ?machine ?policy ?heap_words ?machine_procs ?fault
             make_rt ?machine ?policy ?heap_words ?machine_procs ?fault ~nprocs
               ()
           in
-          match run prog ~rt ?checks ?bounds ?max_cycles ?audit () with
+          match run prog ~rt ?checks ?bounds ?max_cycles ?audit ?profile () with
           | Ok _ as ok -> ok
           | Error d -> Error (Diag.to_string d)))
 

@@ -29,6 +29,13 @@ module Diag = Ddsm_check.Diag
 module Audit = Ddsm_check.Audit
 (** Invariant-audit violations (returned by {!Ddsm_runtime.Rt.audit}). *)
 
+module Profile = Ddsm_report.Profile
+(** Cycle-attribution profiler and Chrome-trace event buffer; pass one to
+    {!run}/{!run_source} via [?profile]. *)
+
+module Json = Ddsm_report.Json
+(** Minimal JSON values (trace export, bench snapshots). *)
+
 type machine =
   | Origin2000  (** the paper's full-size parameters (§2) *)
   | Scaled of int  (** capacities shrunk by the factor (see DESIGN.md) *)
@@ -59,16 +66,17 @@ val make_rt :
 
 val run :
   Ddsm_exec.Prog.t -> rt:Ddsm_runtime.Rt.t -> ?checks:bool -> ?bounds:bool ->
-  ?max_cycles:int -> ?audit:bool -> ?stall_limit:int -> unit ->
-  (Engine.outcome, Diag.t) result
+  ?max_cycles:int -> ?audit:bool -> ?stall_limit:int -> ?profile:Profile.t ->
+  unit -> (Engine.outcome, Diag.t) result
 (** See {!Ddsm_exec.Engine.run}: failures are structured diagnoses;
-    [audit] adds a post-run invariant audit. *)
+    [audit] adds a post-run invariant audit; [profile] attaches a
+    cycle-attribution profiler for the duration of the run. *)
 
 val run_source :
   ?flags:Flags.t -> ?machine:machine -> ?policy:Ddsm_machine.Pagetable.policy ->
   ?heap_words:int -> ?machine_procs:int -> ?fault:Fault.t -> ?nprocs:int ->
-  ?checks:bool -> ?bounds:bool -> ?max_cycles:int -> ?audit:bool -> string ->
-  (Engine.outcome, string) result
+  ?checks:bool -> ?bounds:bool -> ?max_cycles:int -> ?audit:bool ->
+  ?profile:Profile.t -> string -> (Engine.outcome, string) result
 (** One-shot: parse, analyse, lower, link and execute a single source
     string (default 8 processors). Compile/link diagnostics are joined into
     the error string; run diagnoses are rendered with

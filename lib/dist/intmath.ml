@@ -1,15 +1,32 @@
+(* Floor division that is exact for every numerator, including min_int:
+   truncate-toward-zero then correct when a remainder was discarded on a
+   negative numerator (the naive -((-a + b - 1) / b) overflows at -a when
+   a = min_int). *)
 let fdiv a b =
   if b <= 0 then invalid_arg "Intmath.fdiv: non-positive divisor";
-  if a >= 0 then a / b else -((-a + b - 1) / b)
+  let q = a / b and r = a mod b in
+  if r < 0 then q - 1 else q
 
 let fmod a b = a - (b * fdiv a b)
-let cdiv a b = fdiv (a + b - 1) b
 
-let rec egcd a b =
-  if b = 0 then if a >= 0 then (a, 1, 0) else (-a, -1, 0)
-  else
-    let g, x, y = egcd b (a mod b) in
-    (g, y, x - (a / b * y))
+let cdiv a b =
+  if b <= 0 then invalid_arg "Intmath.cdiv: non-positive divisor";
+  let q = a / b and r = a mod b in
+  if r > 0 then q + 1 else q
+
+let egcd a b =
+  (* gcd (min_int, 0) = |min_int| is not representable, and min_int / -1
+     silently wraps: refuse min_int operands outright rather than return a
+     negative "gcd". *)
+  if a = min_int || b = min_int then
+    invalid_arg "Intmath.egcd: min_int operand (gcd unrepresentable)";
+  let rec go a b =
+    if b = 0 then if a >= 0 then (a, 1, 0) else (-a, -1, 0)
+    else
+      let g, x, y = go b (a mod b) in
+      (g, y, x - (a / b * y))
+  in
+  go a b
 
 let gcd a b =
   let g, _, _ = egcd a b in
@@ -21,19 +38,31 @@ let align_up x ~base ~step =
   if step <= 0 then invalid_arg "Intmath.align_up: non-positive step";
   if x <= base then base else base + (cdiv (x - base) step * step)
 
+(* Steps are bounded so the CRT arithmetic below cannot overflow:
+   operands reduced mod m stay below 2^31, so products stay below 2^62. *)
+let max_step = 1 lsl 31
+
 (* Solve { a.start + i*a.step } ∩ { b.start + j*b.step } by CRT. We need
    x ≡ a.start (mod a.step) and x ≡ b.start (mod b.step); solvable iff
    gcd divides the difference of the residues. *)
 let ap_intersect a b =
   if a.step <= 0 || b.step <= 0 then invalid_arg "Intmath.ap_intersect";
+  if a.step >= max_step || b.step >= max_step then
+    invalid_arg "Intmath.ap_intersect: step >= 2^31 (CRT would overflow)";
   let g, u, _v = egcd a.step b.step in
   let diff = b.start - a.start in
+  (* a same-sign wrap here means the true difference exceeds the int
+     range; refuse rather than intersect the wrong progressions *)
+  if b.start >= a.start <> (diff >= 0) then
+    invalid_arg "Intmath.ap_intersect: start difference overflows";
   if diff mod g <> 0 then None
   else
     let lcm = a.step / g * b.step in
-    (* x = a.start + a.step * t where t ≡ u * (diff/g) (mod b.step/g) *)
+    (* x = a.start + a.step * t where t ≡ u * (diff/g) (mod b.step/g);
+       reduce both factors mod m first — the raw u * (diff/g) product
+       overflows for large steps and far-apart starts *)
     let m = b.step / g in
-    let t0 = fmod (u * (diff / g)) m in
+    let t0 = fmod (fmod u m * fmod (diff / g) m) m in
     let x0 = a.start + (a.step * t0) in
     (* x0 satisfies both congruences; move up to >= max of starts *)
     let lo = max a.start b.start in

@@ -5,7 +5,8 @@
     lower-bound computations where [p*b - c] can be negative). *)
 
 val fdiv : int -> int -> int
-(** [fdiv a b] is floor(a/b). [b] must be positive. *)
+(** [fdiv a b] is floor(a/b). [b] must be positive. Exact for every [a],
+    including [min_int]. *)
 
 val fmod : int -> int -> int
 (** [fmod a b] is [a - b * fdiv a b], always in [0, b-1]. [b] > 0. *)
@@ -15,10 +16,13 @@ val cdiv : int -> int -> int
 
 val egcd : int -> int -> int * int * int
 (** [egcd a b] is [(g, x, y)] with [g = gcd a b] (non-negative) and
-    [a*x + b*y = g]. *)
+    [a*x + b*y = g]. Raises [Invalid_argument] when either operand is
+    [min_int]: [|min_int|] is not representable, so the "gcd" would come
+    back negative. *)
 
 val gcd : int -> int -> int
-(** Non-negative gcd; [gcd 0 0 = 0]. *)
+(** Non-negative gcd; [gcd 0 0 = 0]. Same [min_int] restriction as
+    {!egcd}. *)
 
 type ap = { start : int; step : int }
 (** The arithmetic progression [{start + k*step | k >= 0}]. [step] > 0. *)
@@ -27,7 +31,10 @@ val ap_intersect : ap -> ap -> ap option
 (** Intersection of two upward-infinite arithmetic progressions, itself an
     arithmetic progression (or [None] if empty, i.e. the residues are
     incompatible). The result's [start] is the smallest common element that is
-    [>= max a.start b.start]. *)
+    [>= max a.start b.start]. Starts may be negative. Raises
+    [Invalid_argument] when a step is [>= 2{^31}] or the two starts are so
+    far apart that their difference overflows — explicit refusals instead
+    of silently wrapped CRT arithmetic. *)
 
 val align_up : int -> base:int -> step:int -> int
 (** [align_up x ~base ~step] is the smallest element of the progression

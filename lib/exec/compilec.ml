@@ -618,15 +618,25 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
       let page_words = Rt.page_words renv.g.rt in
       fun ctx -> (
         match Rt.redistribute renv.g.rt ~name:qname ~kinds ?onto () with
-        | Ok { Rt.moved; retries; fell_back = _ } ->
+        | Ok { Rt.moved; retries; fell_back } ->
             (* failed attempts cost backoff time; a fallback costs only the
                retries (no pages move, the old placement is kept) *)
             charge
               ((retries * Costs.redistribute_retry)
               + (moved * Costs.redistribute_per_page ~page_words))
-              ctx.ws
+              ctx.ws;
+            Rt.note_event renv.g.rt
+              ~name:(if fell_back then "redistribute-fallback"
+                     else "redistribute")
+              ~detail:
+                (Printf.sprintf "%s moved=%d retries=%d" qname moved retries)
+              ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
         | Error m -> Eff.error "%s" m)
-  | Stmt.Continue | Stmt.Barrier -> fun _ -> ()
+  | Stmt.Continue -> fun _ -> ()
+  | Stmt.Barrier ->
+      fun ctx ->
+        Rt.note_event renv.g.rt ~name:"barrier" ~detail:""
+          ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
   | Stmt.Return -> fun _ -> raise Return_local
   | Stmt.Print items ->
       let fs =
@@ -647,6 +657,9 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
       fun ctx ->
         renv.g.print (String.concat " " (List.map (fun f -> f ctx) fs))
   | Stmt.Par p ->
+      let region =
+        Printf.sprintf "%s:%d" renv.rname t.Stmt.loc.Loc.line
+      in
       let (myp_slot, np_slot) =
         match (slot_for renv "myp$" ~ty:Types.Tint, slot_for renv "np$" ~ty:Types.Tint) with
         | SInt a, SInt b -> (a, b)
@@ -671,7 +684,8 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
                    fr.Frame.ints.(myp_slot) <- p;
                    fr.Frame.ints.(np_slot) <- n;
                    body { ws = cws; frame = fr }),
-                 n ))
+                 n,
+                 region ))
         end
 
 and qualified_array renv name =

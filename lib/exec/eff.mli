@@ -14,9 +14,11 @@ type _ Effect.t +=
   | Mem : ws * int * bool -> unit Effect.t
       (** [(ws, word_addr, is_write)]: one-word access; the handler charges
           the latency to [ws.clock] *)
-  | Fork : ws * (ws -> int -> unit) * int -> unit Effect.t
-      (** [(ws, body, n)]: run [body child_ws p] for [p = 0..n-1] as child
-          coroutines; resume the parent at the children's max clock *)
+  | Fork : ws * (ws -> int -> unit) * int * string -> unit Effect.t
+      (** [(ws, body, n, region)]: run [body child_ws p] for [p = 0..n-1] as
+          child coroutines; resume the parent at the children's max clock.
+          [region] is a human-readable parallel-region label
+          (["routine:line"]) used by the cycle-attribution profiler. *)
 
 exception Runtime_error of string
 (** A user-program error (bad arguments, bounds, inconsistent commons…). *)

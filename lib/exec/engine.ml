@@ -6,6 +6,7 @@ module Memsys = Ddsm_machine.Memsys
 module Counters = Ddsm_machine.Counters
 module Diag = Ddsm_check.Diag
 module Fault = Ddsm_check.Fault
+module Profile = Ddsm_report.Profile
 open Ddsm_ir
 
 type outcome = {
@@ -133,11 +134,14 @@ let static_abind prog rt ~routine ~array =
 
 type task = {
   tws : Eff.ws;
+  region : string;  (** parallel-region label for cycle attribution *)
   mutable state : tstate;
   parent : task option;
   mutable children : task list;
   mutable pending : int;
   mutable maxchild : int;
+  mutable forked_region : string option;
+      (** label of the region this task is currently waiting on *)
   mutable lost_wakeup : bool;
   mutable wait_k : (unit, unit) Effect.Deep.continuation option;
 }
@@ -166,9 +170,11 @@ let rec view_of t =
         (List.rev t.children);
   }
 
+let serial_region = "(serial)"
+
 let run prog ~rt ?(checks = true) ?(bounds = false)
-    ?(max_cycles = max_int / 2) ?(audit = false) ?(stall_limit = 1_000_000) ()
-    =
+    ?(max_cycles = max_int / 2) ?(audit = false) ?(stall_limit = 1_000_000)
+    ?profile () =
   let prints = ref [] in
   let phase = ref "elaborate" in
   let mem = rt.Rt.mem in
@@ -176,14 +182,53 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
   let master =
     {
       tws = master_ws;
+      region = serial_region;
       state = Done;
       parent = None;
       children = [];
       pending = 0;
       maxchild = 0;
+      forked_region = None;
       lost_wakeup = false;
       wait_k = None;
     }
+  in
+  (* ---- observability -------------------------------------------------
+     When a profiler is attached: every Memsys access is classified by the
+     probe and attributed to (current region, owning array); runtime and
+     scheduler events land in the bounded trace ring. The probe reads
+     [cur_region] which the Mem handler sets before each access. *)
+  let cur_region = ref serial_region in
+  let trace name ?args ph ~tid ~ts =
+    match profile with
+    | None -> ()
+    | Some p -> Profile.event p ~name ?args ~ph ~tid ~ts ()
+  in
+  (match profile with
+  | None -> ()
+  | Some p ->
+      Memsys.set_probe mem
+        (Some
+           (fun ev ->
+             Profile.record_access p ~region:!cur_region ev;
+             if ev.Memsys.ev_tlb_flushed then
+               Profile.event p ~name:"tlb-flush" ~cat:"fault" ~ph:Profile.Instant
+                 ~tid:ev.Memsys.ev_proc ~ts:ev.Memsys.ev_now ()));
+      rt.Rt.on_event <-
+        Some
+          (fun ~name ~detail ~proc ~now ->
+            let args =
+              if detail = "" then []
+              else [ ("detail", Ddsm_report.Json.Str detail) ]
+            in
+            Profile.event p ~name ~cat:"runtime" ~args ~ph:Profile.Instant
+              ~tid:proc ~ts:now ()));
+  let detach_observers () =
+    match profile with
+    | None -> ()
+    | Some _ ->
+        Memsys.set_probe mem None;
+        rt.Rt.on_event <- None
   in
   (* Full-context diagnosis: reason + where every simulated task stands.
      Built from whatever state exists when the failure is observed. *)
@@ -226,8 +271,19 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
     | Invalid_argument m | Failure m -> Diag.Internal m
     | e -> Diag.Internal (Printexc.to_string e)
   in
+  Fun.protect ~finally:detach_observers @@ fun () ->
   try
     elaborate prog ~rt;
+    (* the allocation map is complete once elaboration has declared every
+       static array; redistribute moves pages, not addresses, so ranges
+       registered here stay valid for the whole run *)
+    (match profile with
+    | None -> ()
+    | Some p ->
+        Hashtbl.iter
+          (fun name d ->
+            Profile.register_array p ~name ~word_ranges:(Darray.word_ranges d))
+          rt.Rt.arrays);
     phase := "compile";
     let g =
       Compilec.create prog ~rt ~checks ~bounds
@@ -252,6 +308,11 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
           if p.pending = 0 then begin
             p.children <- [];
             p.tws.Eff.clock <- p.maxchild;
+            (match p.forked_region with
+            | Some r ->
+                trace r Profile.End ~tid:p.tws.Eff.proc ~ts:p.maxchild;
+                p.forked_region <- None
+            | None -> ());
             p.state <- Ready;
             push p
           end
@@ -266,14 +327,18 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
             | Eff.Mem (ws, waddr, write) ->
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    cur_region := t.region;
                     let lat =
                       Memsys.access mem ~proc:ws.Eff.proc
                         ~addr:(Heap.byte_of_word waddr) ~write
                         ~now:ws.Eff.clock
                     in
                     ws.Eff.clock <- ws.Eff.clock + lat;
-                    if ws.Eff.clock > max_cycles then
+                    if ws.Eff.clock > max_cycles then begin
+                      trace "cycle-budget" Profile.Instant ~tid:ws.Eff.proc
+                        ~ts:ws.Eff.clock;
                       failure := Some (Eff.Cycle_limit max_cycles)
+                    end
                     else begin
                       t.state <- Ready;
                       t.wait_k <- Some k;
@@ -282,11 +347,14 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                       (* chaos fault: the completion wakeup is dropped and
                          the task stays parked forever — the watchdog's
                          deadlock report must name it *)
-                      if Fault.wakeup_lost fault ~wakeup:w then
-                        t.lost_wakeup <- true
+                      if Fault.wakeup_lost fault ~wakeup:w then begin
+                        t.lost_wakeup <- true;
+                        trace "wakeup-lost" Profile.Instant ~tid:ws.Eff.proc
+                          ~ts:ws.Eff.clock
+                      end
                       else push t
                     end)
-            | Eff.Fork (ws, body, n) ->
+            | Eff.Fork (ws, body, n, region) ->
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
                     t.state <- Waiting;
@@ -294,6 +362,8 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                     t.pending <- n;
                     t.maxchild <- ws.Eff.clock;
                     t.children <- [];
+                    t.forked_region <- Some region;
+                    trace region Profile.Begin ~tid:ws.Eff.proc ~ts:ws.Eff.clock;
                     for p = n - 1 downto 0 do
                       let cws =
                         { Eff.proc = p; clock = ws.Eff.clock; depth = ws.Eff.depth + 1 }
@@ -301,11 +371,13 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                       let child =
                         {
                           tws = cws;
+                          region;
                           state = Start (fun () -> body cws p);
                           parent = Some t;
                           children = [];
                           pending = 0;
                           maxchild = 0;
+                          forked_region = None;
                           lost_wakeup = false;
                           wait_k = None;
                         }
@@ -318,6 +390,7 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
     in
     master.state <- Start (fun () -> Compilec.run_main g master_ws);
     push master;
+    trace "run" Profile.Begin ~tid:0 ~ts:0;
     (* Watchdog: consecutive scheduler steps without the minimum queued
        clock advancing. A healthy run advances some clock on every resume
        (every memory access has positive latency); a stall this long means
@@ -335,7 +408,11 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
             end
             else begin
               incr stalled;
-              if !stalled > stall_limit then failure := Some (Stalled !stalled)
+              if !stalled > stall_limit then begin
+                trace "watchdog-stall" Profile.Instant ~tid:t.tws.Eff.proc
+                  ~ts:t.tws.Eff.clock;
+                failure := Some (Stalled !stalled)
+              end
             end;
             if !failure <> None then ()
             else begin
@@ -371,6 +448,7 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
               let per_proc =
                 Array.init (Rt.nprocs rt) (fun p -> Memsys.counters mem ~proc:p)
               in
+              trace "run" Profile.End ~tid:0 ~ts:master_ws.Eff.clock;
               Ok
                 {
                   cycles = master_ws.Eff.clock;

@@ -25,6 +25,7 @@ val run :
   ?max_cycles:int ->
   ?audit:bool ->
   ?stall_limit:int ->
+  ?profile:Ddsm_report.Profile.t ->
   unit ->
   (outcome, Ddsm_check.Diag.t) result
 (** [checks] enables the §6 runtime argument checks (default true);
@@ -41,7 +42,14 @@ val run :
 
     [audit] (default false) runs the full invariant audit ({!Rt.audit})
     after a successful run and fails with [Audit_failure] listing the
-    violations if the machine state is inconsistent. *)
+    violations if the machine state is inconsistent.
+
+    [profile] attaches a cycle-attribution profiler
+    ({!Ddsm_report.Profile}): every memory access is attributed to the
+    executing parallel region and the owning array, and scheduler/runtime
+    events (region enter/exit, barriers, redistributions, fault injections,
+    watchdog trips) are appended to its bounded event trace. The machine
+    probe and runtime hook are detached again before [run] returns. *)
 
 val elaborate : Prog.t -> rt:Ddsm_runtime.Rt.t -> unit
 (** Allocate static storage only (exposed for tests). Raises

@@ -1,6 +1,24 @@
 module Fault = Ddsm_check.Fault
 module Audit = Ddsm_check.Audit
 
+(* Cause-tagged breakdown of one access, emitted to the optional probe.
+   The six cycle fields partition the latency charged by [access]:
+   ev_tlb + ev_hit + ev_local + ev_remote + ev_contention + ev_coherence
+   is exactly the returned latency (and the mem_stall_cycles increment). *)
+type access_event = {
+  ev_proc : int;
+  ev_addr : int;
+  ev_write : bool;
+  ev_now : int;
+  ev_tlb : int;
+  ev_hit : int;
+  ev_local : int;
+  ev_remote : int;
+  ev_contention : int;
+  ev_coherence : int;
+  ev_tlb_flushed : bool;
+}
+
 type t = {
   cfg : Config.t;
   topo : Topology.t;
@@ -15,6 +33,7 @@ type t = {
   page_mask : int;
   fault : Fault.t;
   accesses : int array; (* per-proc translation count, for TLB-flush faults *)
+  mutable probe : (access_event -> unit) option;
 }
 
 let log2 x =
@@ -40,6 +59,7 @@ let create cfg ~policy ?(fault = Fault.none) () =
     page_mask = cfg.Config.page_bytes - 1;
     fault;
     accesses = Array.make n 0;
+    probe = None;
   }
 
 let config t = t.cfg
@@ -49,6 +69,7 @@ let pagetable t = t.pt
 let directory t = t.dir
 let page_of_addr t addr = addr lsr t.page_shift
 let home_of_addr t addr = Pagetable.home_opt t.pt ~page:(page_of_addr t addr)
+let set_probe t p = t.probe <- p
 let counters t ~proc = t.ctrs.(proc)
 let total_counters t = Counters.sum t.ctrs
 let reset_counters t = Array.iter Counters.reset t.ctrs
@@ -114,17 +135,25 @@ let access t ~proc ~addr ~write ~now =
   if write then c.Counters.stores <- c.Counters.stores + 1
   else c.Counters.loads <- c.Counters.loads + 1;
   let lat = ref 0 in
+  (* cause-tagged slices of [lat], reported to the probe (profiler). Every
+     cycle added to [lat] below is also added to exactly one slice. *)
+  let tlb_c = ref 0
+  and hit_c = ref 0
+  and fill_c = ref 0
+  and cont_c = ref 0
+  and coh_c = ref 0 in
   let page = addr lsr t.page_shift in
   (* injected TLB-shootdown fault: periodically drop this processor's
      translations (costs only the refill misses) *)
   t.accesses.(proc) <- t.accesses.(proc) + 1;
-  if Fault.tlb_flush_due t.fault ~accesses:t.accesses.(proc) then
-    Tlb.flush t.tlbs.(proc);
+  let tlb_flushed = Fault.tlb_flush_due t.fault ~accesses:t.accesses.(proc) in
+  if tlb_flushed then Tlb.flush t.tlbs.(proc);
   (* 1. address translation *)
   if not (Tlb.access t.tlbs.(proc) ~page) then begin
     c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
     c.Counters.tlb_stall_cycles <-
       c.Counters.tlb_stall_cycles + t.cfg.Config.tlb_miss_cycles;
+    tlb_c := !tlb_c + t.cfg.Config.tlb_miss_cycles;
     lat := !lat + t.cfg.Config.tlb_miss_cycles
   end;
   let my_node = Config.node_of_proc t.cfg proc in
@@ -146,6 +175,7 @@ let access t ~proc ~addr ~write ~now =
       Cache.set_dirty l1 ~line:l1_line;
       Cache.set_dirty l2 ~line:l2_line
     end;
+    hit_c := !hit_c + t.cfg.Config.l1.Config.hit_cycles;
     lat := !lat + t.cfg.Config.l1.Config.hit_cycles
   end
   else begin
@@ -153,6 +183,7 @@ let access t ~proc ~addr ~write ~now =
     let l2_hit = Cache.touch l2 ~line:l2_line in
     if l2_hit && ((not write) || exclusive_mine ()) then begin
       (* L2 hit (or write to an exclusively-held line) *)
+      hit_c := !hit_c + t.cfg.Config.l2.Config.hit_cycles;
       lat := !lat + t.cfg.Config.l2.Config.hit_cycles;
       if write then Cache.set_dirty l2 ~line:l2_line
     end
@@ -170,10 +201,14 @@ let access t ~proc ~addr ~write ~now =
         Topology.route_cycles t.topo ~from_node:my_node ~to_node:home
         + Fault.link_extra t.fault ~a:my_node ~b:home
       in
-      lat :=
-        !lat + t.cfg.Config.l2.Config.hit_cycles + route
+      let upgrade_coh =
+        route
         + Fault.dir_extra t.fault ~home
-        + (t.cfg.Config.inval_cycles_per_sharer * List.length others);
+        + (t.cfg.Config.inval_cycles_per_sharer * List.length others)
+      in
+      hit_c := !hit_c + t.cfg.Config.l2.Config.hit_cycles;
+      coh_c := !coh_c + upgrade_coh;
+      lat := !lat + t.cfg.Config.l2.Config.hit_cycles + upgrade_coh;
       Directory.set_exclusive t.dir ~line:l2_line ~owner:proc;
       Cache.set_dirty l2 ~line:l2_line
     end
@@ -199,10 +234,14 @@ let access t ~proc ~addr ~write ~now =
              or invalidated (write) *)
           c.Counters.dirty_fetches <- c.Counters.dirty_fetches + 1;
           let q_node = Config.node_of_proc t.cfg q in
-          lat :=
-            !lat + base_lat + t.cfg.Config.dirty_transfer_extra_cycles
+          let c2c =
+            t.cfg.Config.dirty_transfer_extra_cycles
             + Topology.route_cycles t.topo ~from_node:q_node ~to_node:my_node
-            + Fault.link_extra t.fault ~a:q_node ~b:my_node;
+            + Fault.link_extra t.fault ~a:q_node ~b:my_node
+          in
+          fill_c := !fill_c + base_lat;
+          coh_c := !coh_c + c2c;
+          lat := !lat + base_lat + c2c;
           enqueue_writeback t ~phys_line:l2_line ~now:arrival;
           if write then begin
             ignore (smash_line t ~victim:q ~phys_line:l2_line);
@@ -220,6 +259,8 @@ let access t ~proc ~addr ~write ~now =
           (* memory supplies the line *)
           let wait = module_service t ~node:home ~arrival in
           c.Counters.contention_cycles <- c.Counters.contention_cycles + wait;
+          fill_c := !fill_c + base_lat;
+          cont_c := !cont_c + wait;
           lat := !lat + base_lat + wait;
           if write then begin
             let others = Directory.sharers_except t.dir ~line:l2_line ~proc in
@@ -230,7 +271,9 @@ let access t ~proc ~addr ~write ~now =
                   t.ctrs.(q).Counters.invals_received + 1)
               others;
             c.Counters.invals_sent <- c.Counters.invals_sent + List.length others;
-            lat := !lat + (t.cfg.Config.inval_cycles_per_sharer * List.length others);
+            let inval = t.cfg.Config.inval_cycles_per_sharer * List.length others in
+            coh_c := !coh_c + inval;
+            lat := !lat + inval;
             Directory.set_exclusive t.dir ~line:l2_line ~owner:proc
           end
           else begin
@@ -258,6 +301,24 @@ let access t ~proc ~addr ~write ~now =
     else if write then Cache.set_dirty l1 ~line:l1_line
   end;
   c.Counters.mem_stall_cycles <- c.Counters.mem_stall_cycles + !lat;
+  (match t.probe with
+  | None -> ()
+  | Some probe ->
+      let local = home = my_node in
+      probe
+        {
+          ev_proc = proc;
+          ev_addr = addr;
+          ev_write = write;
+          ev_now = now;
+          ev_tlb = !tlb_c;
+          ev_hit = !hit_c;
+          ev_local = (if local then !fill_c else 0);
+          ev_remote = (if local then 0 else !fill_c);
+          ev_contention = !cont_c;
+          ev_coherence = !coh_c;
+          ev_tlb_flushed = tlb_flushed;
+        });
   !lat
 
 (* ------------------------------------------------------------------ *)

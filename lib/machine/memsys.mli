@@ -19,6 +19,28 @@
 
 type t
 
+(** Cause-tagged breakdown of one access, delivered to the optional probe
+    installed with {!set_probe}. The six cycle fields partition the latency
+    returned by {!access}: [ev_tlb + ev_hit + ev_local + ev_remote +
+    ev_contention + ev_coherence] equals the charged latency exactly, so a
+    profiler summing events reconstructs [mem_stall_cycles] with no
+    unaccounted remainder. *)
+type access_event = {
+  ev_proc : int;
+  ev_addr : int;  (** byte address in the shared virtual space *)
+  ev_write : bool;
+  ev_now : int;  (** the accessing processor's local clock *)
+  ev_tlb : int;  (** translation-miss refill cycles *)
+  ev_hit : int;  (** L1/L2 hit (pipeline) cycles *)
+  ev_local : int;  (** fill latency served by the local node's memory *)
+  ev_remote : int;  (** fill latency served by a remote home node *)
+  ev_contention : int;  (** queueing at a saturated memory module *)
+  ev_coherence : int;
+      (** invalidations, upgrades and dirty cache-to-cache transfers *)
+  ev_tlb_flushed : bool;
+      (** an injected TLB-shootdown fault fired on this access *)
+}
+
 val create : Config.t -> policy:Pagetable.policy -> ?fault:Ddsm_check.Fault.t -> unit -> t
 (** [fault] (default {!Ddsm_check.Fault.none}) installs a deterministic
     fault plan: slow memory modules, hot directories, congested links and
@@ -45,6 +67,11 @@ val migrate_bytes : t -> lo:int -> hi:int -> node:int -> int
 
 val page_of_addr : t -> int -> int
 val home_of_addr : t -> int -> int option
+
+val set_probe : t -> (access_event -> unit) option -> unit
+(** Install (or remove, with [None]) the per-access probe. Called once per
+    {!access} after all counters are charged; [None] (the default) costs
+    nothing on the access path. *)
 
 val counters : t -> proc:int -> Counters.t
 val total_counters : t -> Counters.t

@@ -1,0 +1,65 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float x ->
+      (* JSON has no NaN/infinity literals *)
+      if Float.is_nan x then Buffer.add_string b "null"
+      else if x = infinity then Buffer.add_string b "1e999"
+      else if x = neg_infinity then Buffer.add_string b "-1e999"
+      else Buffer.add_string b (Printf.sprintf "%.12g" x)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  emit b t;
+  Buffer.contents b
+
+let to_channel oc t = output_string oc (to_string t)

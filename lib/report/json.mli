@@ -1,0 +1,23 @@
+(** A minimal JSON value and emitter — enough for the Chrome trace-event
+    writer and the bench snapshot files, with no external dependency.
+
+    Emission notes: [Float nan] becomes [null] (JSON has no NaN literal);
+    strings are escaped per RFC 8259. There is deliberately no parser here —
+    the test suite carries its own tiny reader to check round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)

@@ -1,0 +1,324 @@
+open Ddsm_machine
+
+type cause = Tlb | Hit | Local_fill | Remote_fill | Contention | Coherence
+
+let causes = [| Tlb; Hit; Local_fill; Remote_fill; Contention; Coherence |]
+let ncauses = Array.length causes
+
+let cause_index = function
+  | Tlb -> 0
+  | Hit -> 1
+  | Local_fill -> 2
+  | Remote_fill -> 3
+  | Contention -> 4
+  | Coherence -> 5
+
+let cause_name = function
+  | Tlb -> "tlb"
+  | Hit -> "hit"
+  | Local_fill -> "local"
+  | Remote_fill -> "remote"
+  | Contention -> "contention"
+  | Coherence -> "coherence"
+
+(* ---- string interning ------------------------------------------------- *)
+
+type intern = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
+
+let intern_create () = { ids = Hashtbl.create 32; names = [||]; count = 0 }
+
+let intern i s =
+  match Hashtbl.find_opt i.ids s with
+  | Some id -> id
+  | None ->
+      let id = i.count in
+      if id >= Array.length i.names then (
+        let cap = max 8 (2 * Array.length i.names) in
+        let bigger = Array.make cap "" in
+        Array.blit i.names 0 bigger 0 (Array.length i.names);
+        i.names <- bigger);
+      i.names.(id) <- s;
+      i.count <- id + 1;
+      Hashtbl.replace i.ids s id;
+      id
+
+let intern_name i id = i.names.(id)
+
+(* ---- trace events ----------------------------------------------------- *)
+
+type phase = Begin | End | Instant
+
+type trace_event = {
+  te_name : string;
+  te_cat : string;
+  te_ph : phase;
+  te_tid : int;
+  te_ts : int;
+  te_args : (string * Json.t) list;
+}
+
+type t = {
+  regions : intern;
+  arrays : intern;
+  unattributed_id : int;
+  (* byte-address intervals, sorted by lo once built *)
+  mutable ranges : (int * int * int) list;  (* lo, hi (bytes, incl.), array *)
+  mutable index : (int * int * int) array;  (* sorted; rebuilt when dirty *)
+  mutable index_dirty : bool;
+  (* (region, array) -> per-cause stall cycles *)
+  matrix : (int * int, int array) Hashtbl.t;
+  mutable total : int;
+  mutable unattributed : int;
+  (* bounded ring buffer of trace events *)
+  ring : trace_event option array;
+  mutable ring_next : int;
+  mutable ring_count : int;
+}
+
+let create ?(trace_cap = 65536) () =
+  let arrays = intern_create () in
+  let unattributed_id = intern arrays "(unattributed)" in
+  {
+    regions = intern_create ();
+    arrays;
+    unattributed_id;
+    ranges = [];
+    index = [||];
+    index_dirty = false;
+    matrix = Hashtbl.create 64;
+    total = 0;
+    unattributed = 0;
+    ring = Array.make (max 1 trace_cap) None;
+    ring_next = 0;
+    ring_count = 0;
+  }
+
+(* ---- allocation map --------------------------------------------------- *)
+
+let word_bytes = 8
+
+let register_array t ~name ~word_ranges =
+  let id = intern t.arrays name in
+  List.iter
+    (fun (lo, hi) ->
+      if hi >= lo then
+        t.ranges <-
+          (lo * word_bytes, (hi * word_bytes) + (word_bytes - 1), id)
+          :: t.ranges)
+    word_ranges;
+  t.index_dirty <- true
+
+let rebuild_index t =
+  let a = Array.of_list t.ranges in
+  Array.sort (fun (l1, _, _) (l2, _, _) -> compare l1 l2) a;
+  t.index <- a;
+  t.index_dirty <- false
+
+let lookup t addr =
+  if t.index_dirty then rebuild_index t;
+  let a = t.index in
+  let n = Array.length a in
+  (* greatest lo <= addr, then check hi *)
+  let rec bsearch lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      let l, _, _ = a.(mid) in
+      if l <= addr then bsearch (mid + 1) hi (Some mid)
+      else bsearch lo (mid - 1) best
+  in
+  match bsearch 0 (n - 1) None with
+  | None -> t.unattributed_id
+  | Some i ->
+      let _, hi, id = a.(i) in
+      if addr <= hi then id else t.unattributed_id
+
+(* ---- attribution ------------------------------------------------------ *)
+
+let cell t ~region ~array =
+  let key = (region, array) in
+  match Hashtbl.find_opt t.matrix key with
+  | Some c -> c
+  | None ->
+      let c = Array.make ncauses 0 in
+      Hashtbl.replace t.matrix key c;
+      c
+
+let record_access t ~region (ev : Memsys.access_event) =
+  let rid = intern t.regions region in
+  let aid = lookup t ev.Memsys.ev_addr in
+  let c = cell t ~region:rid ~array:aid in
+  c.(0) <- c.(0) + ev.Memsys.ev_tlb;
+  c.(1) <- c.(1) + ev.Memsys.ev_hit;
+  c.(2) <- c.(2) + ev.Memsys.ev_local;
+  c.(3) <- c.(3) + ev.Memsys.ev_remote;
+  c.(4) <- c.(4) + ev.Memsys.ev_contention;
+  c.(5) <- c.(5) + ev.Memsys.ev_coherence;
+  let cycles =
+    ev.Memsys.ev_tlb + ev.Memsys.ev_hit + ev.Memsys.ev_local
+    + ev.Memsys.ev_remote + ev.Memsys.ev_contention + ev.Memsys.ev_coherence
+  in
+  t.total <- t.total + cycles;
+  if aid = t.unattributed_id then t.unattributed <- t.unattributed + cycles
+
+let total_stall t = t.total
+let attributed_stall t = t.total - t.unattributed
+
+(* ---- trace ------------------------------------------------------------ *)
+
+let event t ~name ?(cat = "ddsm") ?(args = []) ~ph ~tid ~ts () =
+  let cap = Array.length t.ring in
+  t.ring.(t.ring_next) <-
+    Some { te_name = name; te_cat = cat; te_ph = ph; te_tid = tid;
+           te_ts = ts; te_args = args };
+  t.ring_next <- (t.ring_next + 1) mod cap;
+  t.ring_count <- t.ring_count + 1
+
+let trace_dropped t = max 0 (t.ring_count - Array.length t.ring)
+
+let trace_events t =
+  let cap = Array.length t.ring in
+  let n = min t.ring_count cap in
+  let start = if t.ring_count <= cap then 0 else t.ring_next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let trace_json t =
+  let evs =
+    List.stable_sort
+      (fun a b -> compare a.te_ts b.te_ts)
+      (trace_events t)
+  in
+  let json_of_event e =
+    let base =
+      [
+        ("name", Json.Str e.te_name);
+        ("cat", Json.Str e.te_cat);
+        ( "ph",
+          Json.Str
+            (match e.te_ph with Begin -> "B" | End -> "E" | Instant -> "i") );
+        ("ts", Json.Int e.te_ts);
+        ("pid", Json.Int 0);
+        ("tid", Json.Int e.te_tid);
+      ]
+    in
+    let base =
+      match e.te_ph with
+      | Instant -> base @ [ ("s", Json.Str "t") ]
+      | _ -> base
+    in
+    let base =
+      match e.te_args with [] -> base | a -> base @ [ ("args", Json.Obj a) ]
+    in
+    Json.Obj base
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map json_of_event evs));
+      ("displayTimeUnit", Json.Str "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("tool", Json.Str "pflrun --trace");
+            ("dropped_events", Json.Int (trace_dropped t));
+          ] );
+    ]
+
+let write_trace t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Json.to_channel oc (trace_json t);
+      output_char oc '\n')
+
+(* ---- report ----------------------------------------------------------- *)
+
+type row = {
+  r_region : string;
+  r_array : string;
+  r_cycles : int array;  (** indexed by {!cause_index} *)
+  r_total : int;
+}
+
+let rows t =
+  Hashtbl.fold
+    (fun (rid, aid) c acc ->
+      {
+        r_region = intern_name t.regions rid;
+        r_array = intern_name t.arrays aid;
+        r_cycles = Array.copy c;
+        r_total = Array.fold_left ( + ) 0 c;
+      }
+      :: acc)
+    t.matrix []
+  |> List.sort (fun a b -> compare b.r_total a.r_total)
+
+let attribution_json t =
+  let row_json r =
+    Json.Obj
+      ([
+         ("region", Json.Str r.r_region);
+         ("array", Json.Str r.r_array);
+         ("cycles", Json.Int r.r_total);
+       ]
+      @ Array.to_list
+          (Array.mapi
+             (fun i c -> (cause_name causes.(i), Json.Int c))
+             r.r_cycles))
+  in
+  Json.Obj
+    [
+      ("total_stall_cycles", Json.Int t.total);
+      ("attributed_cycles", Json.Int (attributed_stall t));
+      ("unattributed_cycles", Json.Int t.unattributed);
+      ("rows", Json.List (List.map row_json (rows t)));
+    ]
+
+let pct part whole =
+  if whole = 0 then Float.nan else 100.0 *. float_of_int part /. float_of_int whole
+
+let pp_pct ppf p =
+  if Float.is_nan p then Format.fprintf ppf "   --"
+  else Format.fprintf ppf "%5.1f" p
+
+let pp_report ?(top = 12) ppf t =
+  let rs = rows t in
+  Format.fprintf ppf "cycle attribution (region x array)@.";
+  Format.fprintf ppf "  total memory cycles  %d@." t.total;
+  Format.fprintf ppf "  attributed           %d (%a%%)@." (attributed_stall t)
+    pp_pct (pct (attributed_stall t) t.total);
+  Format.fprintf ppf "  unattributed         %d (%a%%)@." t.unattributed
+    pp_pct (pct t.unattributed t.total);
+  if trace_dropped t > 0 then
+    Format.fprintf ppf "  trace events dropped %d@." (trace_dropped t);
+  let shown = if top >= 0 && List.length rs > top then top else List.length rs in
+  Format.fprintf ppf "  %-26s %-18s %12s %6s  %s@." "REGION" "ARRAY" "CYCLES"
+    "%TOT" "BREAKDOWN";
+  List.iteri
+    (fun i r ->
+      if i < shown then begin
+        let break =
+          let parts = ref [] in
+          Array.iteri
+            (fun ci c ->
+              if c > 0 then
+                parts :=
+                  Format.asprintf "%s %.0f%%" (cause_name causes.(ci))
+                    (100.0 *. float_of_int c /. float_of_int r.r_total)
+                  :: !parts)
+            r.r_cycles;
+          String.concat ", " (List.rev !parts)
+        in
+        Format.fprintf ppf "  %-26s %-18s %12d %a  %s@." r.r_region r.r_array
+          r.r_total pp_pct (pct r.r_total t.total) break
+      end)
+    rs;
+  if shown < List.length rs then
+    Format.fprintf ppf "  ... %d more rows@." (List.length rs - shown)

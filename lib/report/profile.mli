@@ -1,0 +1,86 @@
+(** Cycle-attribution profiler and bounded event trace.
+
+    The engine installs a {!Ddsm_machine.Memsys} access probe and feeds every
+    memory-system access here, tagged with the parallel region executing it.
+    Addresses are resolved against the allocation map built from
+    {!Ddsm_runtime.Darray.word_ranges}, and each access's latency breakdown
+    is accumulated into a region x array x cause matrix. Causes partition the
+    machine's [mem_stall_cycles] counter exactly, so
+    [total_stall = Counters.mem_stall_cycles] after a profiled run — any gap
+    is a counter-accounting bug.
+
+    Alongside attribution the profiler keeps a bounded ring buffer of
+    scheduling-level events (region enter/exit, barriers, redistributions,
+    fault injections, watchdog trips) exportable as Chrome trace-event JSON
+    ([chrome://tracing] / Perfetto). When the ring wraps, the oldest events
+    are dropped and the drop count is reported in the JSON's [otherData]. *)
+
+type cause = Tlb | Hit | Local_fill | Remote_fill | Contention | Coherence
+
+val causes : cause array
+(** All causes, in {!cause_index} order. *)
+
+val cause_index : cause -> int
+val cause_name : cause -> string
+
+type t
+
+val create : ?trace_cap:int -> unit -> t
+(** [trace_cap] bounds the event ring buffer (default 65536 events). *)
+
+val register_array :
+  t -> name:string -> word_ranges:(int * int) list -> unit
+(** Add an array's owned word ranges (inclusive [(lo, hi)] word addresses,
+    see {!Ddsm_runtime.Darray.word_ranges}) to the allocation map under
+    [name]. Call once per array, after elaboration. *)
+
+val record_access : t -> region:string -> Ddsm_machine.Memsys.access_event -> unit
+(** Attribute one memory access's cycle breakdown to [region] and to
+    whichever registered array owns the byte address (or to
+    ["(unattributed)"]). *)
+
+val total_stall : t -> int
+(** Sum of all recorded access cycles. *)
+
+val attributed_stall : t -> int
+(** Cycles that landed on a named array (total minus unattributed). *)
+
+(** {2 Event trace} *)
+
+type phase = Begin | End | Instant
+
+val event :
+  t -> name:string -> ?cat:string -> ?args:(string * Json.t) list ->
+  ph:phase -> tid:int -> ts:int -> unit -> unit
+(** Append an event to the ring buffer. [tid] is the simulated processor,
+    [ts] its clock (cycles). *)
+
+val trace_dropped : t -> int
+(** Events lost to ring-buffer wrap-around. *)
+
+val trace_json : t -> Json.t
+(** Chrome trace-event JSON object: [{"traceEvents": [...], ...}]. Events
+    are sorted by timestamp (per-processor clocks make raw arrival order
+    non-monotonic). *)
+
+val write_trace : t -> path:string -> unit
+(** Write {!trace_json} to [path]. Raises [Sys_error] if unwritable. *)
+
+(** {2 Attribution report} *)
+
+type row = {
+  r_region : string;
+  r_array : string;
+  r_cycles : int array;  (** indexed by {!cause_index} *)
+  r_total : int;
+}
+
+val rows : t -> row list
+(** Attribution matrix rows, most expensive first. *)
+
+val attribution_json : t -> Json.t
+(** Machine-readable snapshot of totals and rows (bench output). *)
+
+val pp_report : ?top:int -> Format.formatter -> t -> unit
+(** ASCII top-[top] report (default 12 rows); percentages over a zero total
+    render as ["--"]. *)

@@ -13,7 +13,38 @@ type t = {
   contention_fraction : float;
 }
 
-let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+(* A zero denominator with a positive numerator is a counter-accounting
+   contradiction (events charged against a base that never happened): make
+   it visible as nan rather than silently reporting 0.0. 0/0 is a genuine
+   "nothing happened" and stays 0. *)
+let ratio a b =
+  if b = 0 then (if a = 0 then 0.0 else Float.nan)
+  else float_of_int a /. float_of_int b
+
+let audit (c : C.t) =
+  let bad = ref [] in
+  let check num nname den dname =
+    if num > 0 && den = 0 then
+      bad := Printf.sprintf "%s = %d but %s = 0" nname num dname :: !bad
+  in
+  check c.C.l1_misses "l1_misses" (C.accesses c) "accesses";
+  check c.C.l2_misses "l2_misses" c.C.l1_misses "l1_misses";
+  check c.C.tlb_stall_cycles "tlb_stall_cycles" c.C.mem_stall_cycles
+    "mem_stall_cycles";
+  check c.C.tlb_stall_cycles "tlb_stall_cycles" c.C.tlb_misses "tlb_misses";
+  check c.C.contention_cycles "contention_cycles" c.C.mem_stall_cycles
+    "mem_stall_cycles";
+  check
+    (c.C.local_fills + c.C.remote_fills)
+    "local_fills + remote_fills" c.C.l2_misses "l2_misses";
+  if c.C.l2_misses > 0 && c.C.local_fills + c.C.remote_fills <> c.C.l2_misses
+  then
+    bad :=
+      Printf.sprintf "local_fills + remote_fills = %d but l2_misses = %d"
+        (c.C.local_fills + c.C.remote_fills)
+        c.C.l2_misses
+      :: !bad;
+  List.rev !bad
 
 let of_counters (c : C.t) =
   {
@@ -29,17 +60,23 @@ let of_counters (c : C.t) =
     contention_fraction = ratio c.C.contention_cycles c.C.mem_stall_cycles;
   }
 
+(* a nan fraction (flagged by {!ratio}) renders as "--", never as a
+   confident-looking number *)
+let pp_pct ~digits ppf f =
+  if Float.is_nan f then Format.pp_print_string ppf "--%"
+  else Format.fprintf ppf "%.*f%%" digits (100.0 *. f)
+
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>accesses: %d@ L1 miss rate: %.2f%%  L2 misses: %d (%.2f%% of L1 \
-     misses)@ TLB misses: %d (%.1f%% of memory stall)@ local fills: %.1f%%  \
-     remote fills: %d@ invalidations: %d  contention: %.1f%% of stall@]"
+    "@[<v>accesses: %d@ L1 miss rate: %a  L2 misses: %d (%a of L1 misses)@ \
+     TLB misses: %d (%a of memory stall)@ local fills: %a  remote fills: \
+     %d@ invalidations: %d  contention: %a of stall@]"
     t.accesses
-    (100.0 *. t.l1_miss_rate)
+    (pp_pct ~digits:2) t.l1_miss_rate
     t.l2_misses
-    (100.0 *. t.l2_miss_rate)
+    (pp_pct ~digits:2) t.l2_miss_rate
     t.tlb_misses
-    (100.0 *. t.tlb_stall_fraction)
-    (100.0 *. t.local_fill_fraction)
+    (pp_pct ~digits:1) t.tlb_stall_fraction
+    (pp_pct ~digits:1) t.local_fill_fraction
     t.remote_fills t.invalidations
-    (100.0 *. t.contention_fraction)
+    (pp_pct ~digits:1) t.contention_fraction

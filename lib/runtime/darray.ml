@@ -181,6 +181,24 @@ let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
     canaries = !canaries;
   }
 
+(* Every word range this array owns: element storage (the descriptor block
+   and each reshaped portion included), as inclusive [lo, hi] word-address
+   pairs. This is the allocation map the profiler attributes accesses by. *)
+let word_ranges t =
+  let meta =
+    match t.meta with
+    | None -> []
+    | Some m ->
+        let ndims = Array.length t.extents in
+        let np = nprocs t in
+        [ (m, m + Meta.size ~ndims ~nprocs:np - 1) ]
+  in
+  match t.storage with
+  | Normal { base } -> (base, base + element_count t - 1) :: meta
+  | Reshaped { bases; portion_words; _ } ->
+      Array.to_list (Array.map (fun b -> (b, b + portion_words - 1)) bases)
+      @ meta
+
 let meta_base t =
   match t.meta with
   | Some m -> m

@@ -112,6 +112,12 @@ val portion_base : t -> proc:int -> int
 val portion_words : t -> proc:int -> int
 (** Number of words of [proc]'s *storage box* (reshaped allocation size). *)
 
+val word_ranges : t -> (int * int) list
+(** Every word range this array owns, as inclusive [(lo, hi)] word-address
+    pairs: element storage, the descriptor block, and each reshaped
+    portion. The allocation map consumed by the cycle-attribution
+    profiler. *)
+
 val meta_base : t -> int
 (** Distributed arrays: word address of the descriptor block. *)
 

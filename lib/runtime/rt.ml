@@ -13,6 +13,8 @@ type t = {
   mutable redist_retries : int;
   mutable redist_fallbacks : int;
   job_procs : int;
+  mutable on_event :
+    (name:string -> detail:string -> proc:int -> now:int -> unit) option;
 }
 
 let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
@@ -38,7 +40,13 @@ let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
     redist_retries = 0;
     redist_fallbacks = 0;
     job_procs;
+    on_event = None;
   }
+
+let note_event t ~name ~detail ~proc ~now =
+  match t.on_event with
+  | None -> ()
+  | Some f -> f ~name ~detail ~proc ~now
 
 let nprocs t = t.job_procs
 let page_words t = (Memsys.config t.mem).Config.page_bytes / Heap.word_bytes

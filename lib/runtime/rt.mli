@@ -31,6 +31,12 @@ type t = {
   job_procs : int;
       (** processors this job runs on (<= machine size): the paper runs
           P-processor jobs on a fixed 128-processor Origin-2000 *)
+  mutable on_event :
+    (name:string -> detail:string -> proc:int -> now:int -> unit) option;
+      (** observability hook: runtime-level events (barriers,
+          redistributions, injected redistribution failures) are announced
+          here when installed — the engine points this at the profiler's
+          event trace. [None] (the default) makes {!note_event} free. *)
 }
 
 val create :
@@ -43,6 +49,11 @@ val create :
 
 val nprocs : t -> int
 (** Job processor count (defaults to the machine size). *)
+
+val note_event :
+  t -> name:string -> detail:string -> proc:int -> now:int -> unit
+(** Announce a runtime event to the installed [on_event] hook (no-op when
+    none is installed). *)
 
 val page_words : t -> int
 

@@ -63,6 +63,98 @@ let test_ap_intersect_brute () =
     done
   done
 
+let test_intmath_min_int () =
+  (* fdiv/fmod are exact at the bottom of the int range (the old
+     -((-a + b - 1) / b) formula overflowed at -min_int) *)
+  check_int "fdiv min_int 1" min_int (Intmath.fdiv min_int 1);
+  check_int "fdiv min_int 2" (min_int / 2) (Intmath.fdiv min_int 2);
+  check_int "fdiv (min_int+1) 2" ((min_int / 2) - 1 + 1)
+    (Intmath.fdiv (min_int + 1) 2);
+  check_int "fmod min_int 3" ((min_int mod 3) + 3) (Intmath.fmod min_int 3);
+  (* |min_int| is unrepresentable: egcd refuses instead of returning a
+     negative "gcd" *)
+  let expect_invalid name f =
+    check_bool name true
+      (match f () with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+  in
+  expect_invalid "egcd min_int 0" (fun () -> Intmath.egcd min_int 0);
+  expect_invalid "egcd 0 min_int" (fun () -> Intmath.egcd 0 min_int);
+  expect_invalid "gcd min_int 12" (fun () -> Intmath.gcd min_int 12);
+  (* negative (but representable) operands still give a non-negative gcd *)
+  check_int "gcd -12 18" 6 (Intmath.gcd (-12) 18);
+  check_int "gcd (min_int+1) 0" max_int (Intmath.gcd (min_int + 1) 0)
+
+let in_ap { Intmath.start; step } x = x >= start && Intmath.fmod (x - start) step = 0
+
+(* Property: against a brute-force oracle, with negative starts. The
+   oracle enumerates lo .. lo + st1*st2 which always contains the first
+   common element when one exists (period divides st1*st2). *)
+let prop_ap_intersect_oracle =
+  QCheck.Test.make ~count:1000 ~name:"ap_intersect: matches brute oracle"
+    QCheck.(
+      quad (int_range (-100) 100) (int_range 1 50) (int_range (-100) 100)
+        (int_range 1 50))
+    (fun (s1, st1, s2, st2) ->
+      let a = { Intmath.start = s1; step = st1 }
+      and b = { Intmath.start = s2; step = st2 } in
+      let lo = max s1 s2 in
+      let brute =
+        List.find_opt
+          (fun x -> in_ap a x && in_ap b x)
+          (List.init ((st1 * st2) + 1) (fun i -> lo + i))
+      in
+      match (Intmath.ap_intersect a b, brute) with
+      | None, None -> true
+      | None, Some _ | Some _, None -> false
+      | Some r, Some first ->
+          r.Intmath.start = first
+          && r.Intmath.step = st1 * st2 / Intmath.gcd st1 st2)
+
+let test_ap_intersect_large_steps () =
+  (* the raw CRT product u * (diff/g) overflows for large steps and
+     far-apart starts; verify by congruence + minimality instead of
+     enumeration *)
+  let check_pair a b =
+    match Intmath.ap_intersect a b with
+    | None -> Alcotest.fail "expected non-empty intersection"
+    | Some r ->
+        let lo = max a.Intmath.start b.Intmath.start in
+        check_bool "start in a" true (in_ap a r.Intmath.start);
+        check_bool "start in b" true (in_ap b r.Intmath.start);
+        check_bool "start >= lo" true (r.Intmath.start >= lo);
+        check_int "step is lcm"
+          (a.Intmath.step / Intmath.gcd a.Intmath.step b.Intmath.step
+          * b.Intmath.step)
+          r.Intmath.step;
+        (* minimality: the previous element of the result progression is
+           below the admissible range *)
+        check_bool "start is minimal" true (r.Intmath.start - r.Intmath.step < lo)
+  in
+  let big1 = (1 lsl 31) - 1 (* prime 2^31-1 *) and big2 = (1 lsl 30) + 3 in
+  check_pair
+    { Intmath.start = -1_000_000_000; step = big1 }
+    { Intmath.start = 999_999_937; step = big2 };
+  check_pair
+    { Intmath.start = 0; step = big1 }
+    { Intmath.start = max_int / 2; step = 2 };
+  (* explicit refusals instead of silent wraps *)
+  let expect_invalid name f =
+    check_bool name true
+      (match f () with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+  in
+  expect_invalid "step >= 2^31 refused" (fun () ->
+      Intmath.ap_intersect
+        { Intmath.start = 0; step = 1 lsl 31 }
+        { Intmath.start = 0; step = 3 });
+  expect_invalid "overflowing start difference refused" (fun () ->
+      Intmath.ap_intersect
+        { Intmath.start = min_int + 10; step = 3 }
+        { Intmath.start = max_int - 10; step = 5 })
+
 (* ------------------------------------------------------------------ *)
 (* Kind *)
 
@@ -472,7 +564,11 @@ let () =
           Alcotest.test_case "extended gcd" `Quick test_egcd;
           Alcotest.test_case "align_up" `Quick test_align_up;
           Alcotest.test_case "ap_intersect brute force" `Quick test_ap_intersect_brute;
+          Alcotest.test_case "min_int edge cases" `Quick test_intmath_min_int;
+          Alcotest.test_case "ap_intersect large steps" `Quick
+            test_ap_intersect_large_steps;
         ] );
+      qsuite "intmath.props" [ prop_ap_intersect_oracle ];
       ( "kind",
         [ Alcotest.test_case "string roundtrip & parsing" `Quick test_kind_strings ] );
       ( "dim_map",

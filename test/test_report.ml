@@ -61,6 +61,362 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "tlb fraction" 0.25 s.Stats.tlb_stall_fraction;
   check_bool "pp works" true (String.length (Format.asprintf "%a" Stats.pp s) > 0)
 
+let test_stats_ratio_nan () =
+  (* 0/0 is "nothing happened"; a positive numerator over a zero
+     denominator is a counter-accounting bug and must not read as 0.0 *)
+  Alcotest.(check (float 0.0)) "0/0" 0.0 (Stats.ratio 0 0);
+  check_bool "a/0 is nan, not 0" true (Float.is_nan (Stats.ratio 7 0));
+  let c = C.create () in
+  c.C.tlb_stall_cycles <- 42;
+  (* mem_stall_cycles stays 0: contradictory *)
+  let s = Stats.of_counters c in
+  check_bool "contradictory fraction is nan" true
+    (Float.is_nan s.Stats.tlb_stall_fraction);
+  let rendered = Format.asprintf "%a" Stats.pp s in
+  check_bool "pp renders the bad fraction as --" true (has_sub rendered "--%");
+  check_bool "pp never prints literal nan" false (has_sub rendered "nan")
+
+let test_stats_audit () =
+  let c = C.create () in
+  Alcotest.(check (list string)) "fresh counters are consistent" [] (Stats.audit c);
+  c.C.loads <- 100;
+  c.C.l1_misses <- 10;
+  c.C.l2_misses <- 4;
+  c.C.local_fills <- 3;
+  c.C.remote_fills <- 1;
+  c.C.tlb_misses <- 2;
+  c.C.tlb_stall_cycles <- 50;
+  c.C.mem_stall_cycles <- 500;
+  Alcotest.(check (list string)) "consistent counters" [] (Stats.audit c);
+  (* now break the fill/miss accounting *)
+  c.C.remote_fills <- 5;
+  check_bool "fills <> l2_misses flagged" true
+    (List.exists (fun m -> has_sub m "l2_misses") (Stats.audit c));
+  let c2 = C.create () in
+  c2.C.tlb_stall_cycles <- 9;
+  let bugs = Stats.audit c2 in
+  check_bool "tlb stall without tlb misses flagged" true
+    (List.exists (fun m -> has_sub m "tlb_misses") bugs);
+  check_bool "tlb stall without mem stall flagged" true
+    (List.exists (fun m -> has_sub m "mem_stall_cycles") bugs)
+
+(* ------------------------------------------------------------------ *)
+(* Profile: direct attribution unit tests (synthetic access events) *)
+
+let mk_ev ?(proc = 0) ?(addr = 0) ?(tlb = 0) ?(hit = 0) ?(local = 0)
+    ?(remote = 0) ?(contention = 0) ?(coherence = 0) () =
+  {
+    Ddsm_machine.Memsys.ev_proc = proc;
+    ev_addr = addr;
+    ev_write = false;
+    ev_now = 0;
+    ev_tlb = tlb;
+    ev_hit = hit;
+    ev_local = local;
+    ev_remote = remote;
+    ev_contention = contention;
+    ev_coherence = coherence;
+    ev_tlb_flushed = false;
+  }
+
+let test_profile_matrix () =
+  let p = Profile.create () in
+  (* words 10..19 belong to "x", words 30..34 to "y" *)
+  Profile.register_array p ~name:"x" ~word_ranges:[ (10, 19) ];
+  Profile.register_array p ~name:"y" ~word_ranges:[ (30, 34) ];
+  (* byte addresses: word w covers [8w, 8w+7] *)
+  Profile.record_access p ~region:"r1" (mk_ev ~addr:(10 * 8) ~remote:40 ~hit:2 ());
+  Profile.record_access p ~region:"r1" (mk_ev ~addr:((19 * 8) + 7) ~local:10 ());
+  Profile.record_access p ~region:"r2" (mk_ev ~addr:(30 * 8) ~tlb:25 ~contention:5 ());
+  (* between the two arrays: unattributed *)
+  Profile.record_access p ~region:"r2" (mk_ev ~addr:(25 * 8) ~local:7 ());
+  check_int "total" (40 + 2 + 10 + 25 + 5 + 7) (Profile.total_stall p);
+  check_int "attributed" (40 + 2 + 10 + 25 + 5) (Profile.attributed_stall p);
+  let rows = Profile.rows p in
+  let find region array =
+    List.find_opt
+      (fun r -> r.Profile.r_region = region && r.Profile.r_array = array)
+      rows
+  in
+  (match find "r1" "x" with
+  | None -> Alcotest.fail "missing (r1, x) row"
+  | Some r ->
+      check_int "r1/x total" 52 r.Profile.r_total;
+      check_int "r1/x remote" 40
+        r.Profile.r_cycles.(Profile.cause_index Profile.Remote_fill);
+      check_int "r1/x local" 10
+        r.Profile.r_cycles.(Profile.cause_index Profile.Local_fill));
+  (match find "r2" "y" with
+  | None -> Alcotest.fail "missing (r2, y) row"
+  | Some r ->
+      check_int "r2/y tlb" 25
+        r.Profile.r_cycles.(Profile.cause_index Profile.Tlb));
+  (match find "r2" "(unattributed)" with
+  | None -> Alcotest.fail "missing unattributed row"
+  | Some r -> check_int "unattributed cycles" 7 r.Profile.r_total);
+  check_bool "report renders" true
+    (String.length (Format.asprintf "%a" (Profile.pp_report ~top:10) p) > 0)
+
+let test_profile_ring_bounded () =
+  let p = Profile.create ~trace_cap:4 () in
+  for i = 1 to 10 do
+    Profile.event p ~name:(Printf.sprintf "e%d" i) ~ph:Profile.Instant ~tid:0
+      ~ts:i ()
+  done;
+  check_int "dropped" 6 (Profile.trace_dropped p)
+
+(* ------------------------------------------------------------------ *)
+(* Profile: end-to-end attribution on a two-array microprogram.
+
+   Region 1 initializes a with owner affinity (local traffic on a);
+   region 2 writes b from a read *reversed* (a(n+1-i)), so the stall
+   cycles of region 2 must land on array a largely as remote fills. *)
+
+let twoarr =
+  {|
+      program twoarr
+      integer n, i
+      parameter (n = 64)
+      real*8 a(n), b(n)
+c$distribute_reshape a(block)
+c$distribute_reshape b(block)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = i
+      enddo
+c$doacross local(i) affinity(i) = data(b(i))
+      do i = 1, n
+        b(i) = a(n+1-i)
+      enddo
+      print *, b(1)
+      end
+|}
+
+let region_line label =
+  match String.rindex_opt label ':' with
+  | None -> -1
+  | Some i -> (
+      match int_of_string_opt (String.sub label (i + 1) (String.length label - i - 1)) with
+      | Some n -> n
+      | None -> -1)
+
+let test_profile_end_to_end () =
+  let profile = Ddsm.Profile.create () in
+  let o =
+    match Ddsm.run_source ~nprocs:4 ~profile twoarr with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (list string)) "prints" [ "64" ] o.Ddsm.Engine.prints;
+  (* the cause taxonomy partitions mem_stall_cycles exactly *)
+  check_int "profile total = machine mem_stall counter"
+    o.Ddsm.Engine.counters.C.mem_stall_cycles
+    (Profile.total_stall profile);
+  let total = Profile.total_stall profile in
+  let attributed = Profile.attributed_stall profile in
+  check_bool "at least 90% of stall cycles attributed" true
+    (10 * attributed >= 9 * total);
+  let rows = Profile.rows profile in
+  (* two distinct doacross regions were seen, plus possibly (serial) *)
+  let regions =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r ->
+           if r.Profile.r_region = "(serial)" then None
+           else Some r.Profile.r_region)
+         rows)
+  in
+  check_int "two parallel regions" 2 (List.length regions);
+  check_bool "regions are named routine:line" true
+    (List.for_all (fun l -> has_sub l "twoarr:" && region_line l > 0) regions);
+  (* region 2 (the higher line number) reads a reversed: its stalls on
+     array a must include remote fills, and more of them than region 1's *)
+  let r1, r2 =
+    match regions with
+    | [ x; y ] when region_line x < region_line y -> (x, y)
+    | [ x; y ] -> (y, x)
+    | _ -> Alcotest.fail "expected two regions"
+  in
+  let remote_on region array =
+    List.fold_left
+      (fun acc r ->
+        if r.Profile.r_region = region && r.Profile.r_array = array then
+          acc + r.Profile.r_cycles.(Profile.cause_index Profile.Remote_fill)
+        else acc)
+      0 rows
+  in
+  let a = "twoarr/a" in
+  check_bool "region 2 has remote stalls on a" true (remote_on r2 a > 0);
+  check_bool "region 2's remote stalls on a exceed region 1's" true
+    (remote_on r2 a >= remote_on r1 a)
+
+(* ------------------------------------------------------------------ *)
+(* Trace export: a minimal test-local JSON reader (the library
+   deliberately has no parser) checks the Chrome trace output is
+   well-formed and timestamp-monotonic. *)
+
+module Jparse = struct
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      then (advance (); skip_ws ())
+    in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let literal lit v =
+      String.iter expect lit;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance (); Buffer.contents b
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'u' ->
+                (* skip the 4 hex digits; the tests only compare ASCII *)
+                advance (); advance (); advance (); advance ();
+                Buffer.add_char b '?'
+            | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && numchar s.[!pos] do advance () done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> raise (Bad "number")
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then (advance (); Obj [])
+          else
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); fields ((k, v) :: acc)
+              | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+              | _ -> raise (Bad "object")
+            in
+            fields []
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then (advance (); Arr [])
+          else
+            let rec items acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); items (v :: acc)
+              | ']' -> advance (); Arr (List.rev (v :: acc))
+              | _ -> raise (Bad "array")
+            in
+            items []
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> parse_number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+end
+
+let test_trace_roundtrip () =
+  let profile = Ddsm.Profile.create () in
+  (match Ddsm.run_source ~nprocs:4 ~profile twoarr with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let rendered = Json.to_string (Profile.trace_json profile) in
+  let parsed =
+    try Jparse.parse rendered
+    with Jparse.Bad m -> Alcotest.failf "trace JSON malformed: %s" m
+  in
+  let fields =
+    match parsed with
+    | Jparse.Obj f -> f
+    | _ -> Alcotest.fail "trace top level is not an object"
+  in
+  let events =
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Jparse.Arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  check_bool "trace has events" true (List.length events > 0);
+  let ts_of = function
+    | Jparse.Obj f -> (
+        (match List.assoc_opt "ph" f with
+        | Some (Jparse.Str ("B" | "E" | "i")) -> ()
+        | _ -> Alcotest.fail "bad or missing ph");
+        (match List.assoc_opt "name" f with
+        | Some (Jparse.Str _) -> ()
+        | _ -> Alcotest.fail "missing name");
+        match List.assoc_opt "ts" f with
+        | Some (Jparse.Num t) ->
+            check_bool "ts is an integer" true (Float.is_integer t);
+            t
+        | _ -> Alcotest.fail "missing ts")
+    | _ -> Alcotest.fail "event is not an object"
+  in
+  let stamps = List.map ts_of events in
+  let rec monotonic = function
+    | a :: (b :: _ as rest) -> a <= b && monotonic rest
+    | _ -> true
+  in
+  check_bool "timestamps are monotonic" true (monotonic stamps);
+  (* the doacross regions appear as matched B/E pairs *)
+  let count ph =
+    List.length
+      (List.filter
+         (function
+           | Jparse.Obj f -> List.assoc_opt "ph" f = Some (Jparse.Str ph)
+           | _ -> false)
+         events)
+  in
+  check_int "balanced B/E" (count "B") (count "E")
+
 (* ------------------------------------------------------------------ *)
 (* Core facade *)
 
@@ -153,7 +509,23 @@ let () =
           Alcotest.test_case "table & chart" `Quick test_series_table_chart;
           Alcotest.test_case "crossover detection" `Quick test_crossover;
         ] );
-      ("stats", [ Alcotest.test_case "derived metrics" `Quick test_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "derived metrics" `Quick test_stats;
+          Alcotest.test_case "ratio flags 0-denominator bugs" `Quick
+            test_stats_ratio_nan;
+          Alcotest.test_case "counter-accounting audit" `Quick test_stats_audit;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "attribution matrix" `Quick test_profile_matrix;
+          Alcotest.test_case "ring buffer is bounded" `Quick
+            test_profile_ring_bounded;
+          Alcotest.test_case "two-array end-to-end attribution" `Quick
+            test_profile_end_to_end;
+          Alcotest.test_case "chrome trace roundtrip" `Quick
+            test_trace_roundtrip;
+        ] );
       ( "core",
         [
           Alcotest.test_case "run_source" `Quick test_run_source;
