@@ -93,22 +93,32 @@ let table2 ~quick =
 (* ------------------------------------------------------------------ *)
 (* generic speedup experiment *)
 
-let speedup_experiment ?(cold = false) ~setup ~procs ~mk ~iters () =
-  let measure ~version ~nprocs =
+let speedup_experiment ?(cold = false) ?(jobs = 1) ~setup ~procs ~mk ~iters () =
+  let measure (version, nprocs) =
     if cold then
       H.cold_phase_cycles ~setup ~version ~nprocs ~mk:(mk version) ()
     else H.phase_cycles ~setup ~version ~nprocs ~mk:(mk version) ~iters ()
   in
-  (* serial baseline: the undistributed code on one processor *)
-  let baseline = measure ~version:W.First_touch ~nprocs:1 in
-  let series =
-    List.map
-      (fun version ->
-        let pts = List.map (fun p -> (p, measure ~version ~nprocs:p)) procs in
-        (version, H.speedup_series ~label:(W.version_label version) ~baseline pts))
-      all_versions
+  (* the serial baseline (the undistributed code on one processor) and the
+     full version x P grid are independent jobs — each builds its own
+     runtime — so they fan out across domains; Jobs.map returns results in
+     job order, keeping every printed table identical to a sequential run *)
+  let grid =
+    List.concat_map (fun v -> List.map (fun p -> (v, p)) procs) all_versions
   in
-  (baseline, series)
+  match Ddsm_util.Jobs.map ~jobs measure ((W.First_touch, 1) :: grid) with
+  | [] -> assert false
+  | baseline :: cycles ->
+      let np = List.length procs in
+      let series =
+        List.mapi
+          (fun i version ->
+            let mine = List.filteri (fun j _ -> j / np = i) cycles in
+            let pts = List.map2 (fun p c -> (p, c)) procs mine in
+            (version, H.speedup_series ~label:(W.version_label version) ~baseline pts))
+          all_versions
+      in
+      (baseline, series)
 
 let value_at series version p =
   let s = List.assq version series in
@@ -127,7 +137,7 @@ let print_series ~title ~series =
 (* ------------------------------------------------------------------ *)
 (* Figure 4: LU *)
 
-let fig4 ~quick =
+let fig4 ~quick ~jobs =
   section "Figure 4: NAS-LU speedups (scaled class C)";
   let n = if quick then 12 else 24 in
   let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
@@ -136,7 +146,7 @@ let fig4 ~quick =
       ~heap_words:(1 lsl 22) ()
   in
   let mk version ~iters = W.lu ~n ~iters version in
-  let _, series = speedup_experiment ~setup ~procs ~mk ~iters:1 () in
+  let _, series = speedup_experiment ~jobs ~setup ~procs ~mk ~iters:1 () in
   print_series ~title:(Printf.sprintf "LU (5,%d,%d,%d), dist (*,block,block,*)" n n n) ~series;
   let pmax = List.fold_left max 1 procs in
   let v = value_at series in
@@ -186,7 +196,7 @@ let fig4 ~quick =
 (* ------------------------------------------------------------------ *)
 (* Figure 5: transpose *)
 
-let fig5 ~quick =
+let fig5 ~quick ~jobs =
   section "Figure 5: Matrix Transpose speedups";
   let n = if quick then 160 else 512 in
   let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 8; 16; 32; 64; 96 ] in
@@ -195,7 +205,7 @@ let fig5 ~quick =
       ~page_bytes:4096 ~heap_words:(1 lsl 23) ()
   in
   let mk version ~iters = W.transpose ~n ~iters version in
-  let _, series = speedup_experiment ~setup ~procs ~mk ~iters:1 () in
+  let _, series = speedup_experiment ~jobs ~setup ~procs ~mk ~iters:1 () in
   print_series
     ~title:(Printf.sprintf "Transpose %dx%d, A(*,block) B(block,*), serial init" n n)
     ~series;
@@ -244,18 +254,18 @@ let fig5 ~quick =
 (* ------------------------------------------------------------------ *)
 (* Figures 6 and 7: 2-D convolution *)
 
-let conv_figure ~tag ~name ~n ~procs ~setup ~quick =
+let conv_figure ~tag ~name ~n ~procs ~setup ~quick ~jobs =
   let pmax = List.fold_left max 1 procs in
   let pmid = if quick then 4 else if List.mem 32 procs then 32 else 16 in
   (* one level of parallelism: ( *, block ) *)
   let mk1 version ~iters = W.convolution ~n ~iters ~two_level:false version in
-  let _, s1 = speedup_experiment ~cold:true ~setup ~procs ~mk:mk1 ~iters:1 () in
+  let _, s1 = speedup_experiment ~cold:true ~jobs ~setup ~procs ~mk:mk1 ~iters:1 () in
   print_series
     ~title:(Printf.sprintf "%s: %dx%d, (*,block), one level of parallelism" name n n)
     ~series:s1;
   (* two levels: (block, block) *)
   let mk2 version ~iters = W.convolution ~n ~iters ~two_level:true version in
-  let _, s2 = speedup_experiment ~cold:true ~setup ~procs ~mk:mk2 ~iters:1 () in
+  let _, s2 = speedup_experiment ~cold:true ~jobs ~setup ~procs ~mk:mk2 ~iters:1 () in
   print_series
     ~title:(Printf.sprintf "%s: %dx%d, (block,block), two levels of parallelism" name n n)
     ~series:s2;
@@ -298,7 +308,7 @@ let conv_figure ~tag ~name ~n ~procs ~setup ~quick =
        ]);
   (v1, v2)
 
-let fig6 ~quick =
+let fig6 ~quick ~jobs =
   section "Figure 6: 2-D Convolution, small input";
   let n = if quick then 96 else 256 in
   let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 8; 16; 32; 64; 96 ] in
@@ -308,9 +318,9 @@ let fig6 ~quick =
   in
   ignore
     (conv_figure ~tag:"fig6" ~name:"Fig 6 (scaled 1000x1000)" ~n ~procs ~setup
-       ~quick)
+       ~quick ~jobs)
 
-let fig7 ~quick =
+let fig7 ~quick ~jobs =
   section "Figure 7: 2-D Convolution, large input";
   let n = if quick then 160 else 640 in
   let procs = if quick then [ 1; 2; 4; 8 ] else [ 1; 4; 16; 48; 96 ] in
@@ -320,7 +330,7 @@ let fig7 ~quick =
   in
   let v1, _ =
     conv_figure ~tag:"fig7" ~name:"Fig 7 (scaled 5000x5000)" ~n ~procs ~setup
-      ~quick
+      ~quick ~jobs
   in
   (* §8.4: on the large input, regular distribution is perfectly adequate
      for ( *, block ): portions are much larger than a page *)
@@ -443,7 +453,23 @@ let bechamel () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let chosen = List.filter (fun a -> a <> "--quick") args in
+  (* --jobs N (or DDSM_JOBS) fans the version x P sweeps over domains *)
+  let rec jobs_of = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> j
+        | _ -> failwith ("--jobs: expected a positive integer, got " ^ n))
+    | _ :: tl -> jobs_of tl
+    | [] -> Ddsm_util.Jobs.default_jobs ()
+  in
+  let jobs = jobs_of args in
+  let rec strip = function
+    | "--jobs" :: _ :: tl -> strip tl
+    | "--quick" :: tl -> strip tl
+    | a :: tl -> a :: strip tl
+    | [] -> []
+  in
+  let chosen = strip args in
   let all = [ "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "ablate" ] in
   let chosen = if chosen = [] || chosen = [ "all" ] then all else chosen in
   let t0 = Unix.gettimeofday () in
@@ -451,10 +477,10 @@ let () =
     (fun exp ->
       match exp with
       | "table2" -> table2 ~quick
-      | "fig4" -> fig4 ~quick
-      | "fig5" -> fig5 ~quick
-      | "fig6" -> fig6 ~quick
-      | "fig7" -> fig7 ~quick
+      | "fig4" -> fig4 ~quick ~jobs
+      | "fig5" -> fig5 ~quick ~jobs
+      | "fig6" -> fig6 ~quick ~jobs
+      | "fig7" -> fig7 ~quick ~jobs
       | "ablate" -> ablate ~quick
       | "bechamel" -> bechamel ()
       | other ->

@@ -64,9 +64,14 @@ let run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
 (* --differential N: the transparency oracle. The same image runs under N
    extra configurations with randomized placement policy, processor count
    and fault plan; since directives (and faults) may affect only
-   performance, every configuration must print byte-identical output. *)
-let differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words ~checks
-    ~bounds ~max_cycles ~audit =
+   performance, every configuration must print byte-identical output.
+
+   The configuration list is drawn from the LCG up front; the runs — each
+   on its own fresh machine — then fan out over [jobs] domains, and
+   results are reported in configuration order, so stdout/stderr and exit
+   codes are byte-identical to a sequential run whatever the job count. *)
+let differential linked ~n ~seed ~jobs ~nprocs ~policy ~machine ~heap_words
+    ~checks ~bounds ~max_cycles ~audit =
   let lcg x = ((x * 25214903917) + 11) land 0xFFFFFFFFFFFF in
   let st = ref (lcg (seed + 0x9E3779B9)) in
   let pick arr =
@@ -80,11 +85,22 @@ let differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words ~checks
       | Pagetable.Round_robin -> "round-robin")
       nprocs (Fault.to_spec fault)
   in
-  let run_cfg ~policy ~nprocs ~fault =
-    match
-      run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
-        ~max_cycles ~audit ~fault ()
-    with
+  let cfgs =
+    List.init n (fun i ->
+        let k = i + 1 in
+        let policy = pick [| Pagetable.First_touch; Pagetable.Round_robin |] in
+        let nprocs = pick [| 2; 4; 8 |] in
+        let fault = Fault.random ~seed:(seed + k) ~nnodes:(max 1 (nprocs / 2)) in
+        (policy, nprocs, fault))
+  in
+  let results =
+    Ddsm_util.Jobs.map ~jobs
+      (fun (policy, nprocs, fault) ->
+        run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
+          ~max_cycles ~audit ~fault ())
+      ((policy, nprocs, Fault.none) :: cfgs)
+  in
+  let unwrap (policy, nprocs, fault) = function
     | Error d ->
         Printf.eprintf "differential: run failed under %s\n%s\n"
           (describe ~policy ~nprocs ~fault)
@@ -92,36 +108,41 @@ let differential linked ~n ~seed ~nprocs ~policy ~machine ~heap_words ~checks
         exit (if Diag.is_internal d then 3 else 2)
     | Ok o -> o
   in
-  let base = run_cfg ~policy ~nprocs ~fault:Fault.none in
+  let base_cfg = (policy, nprocs, Fault.none) in
+  let base, rest =
+    match results with
+    | b :: rest -> (unwrap base_cfg b, rest)
+    | [] -> assert false
+  in
   Printf.printf "differential base: %s  cycles=%d\n"
     (describe ~policy ~nprocs ~fault:Fault.none)
     base.Ddsm.Engine.cycles;
-  for k = 1 to n do
-    let policy = pick [| Pagetable.First_touch; Pagetable.Round_robin |] in
-    let nprocs = pick [| 2; 4; 8 |] in
-    let fault = Fault.random ~seed:(seed + k) ~nnodes:(max 1 (nprocs / 2)) in
-    let o = run_cfg ~policy ~nprocs ~fault in
-    let same = o.Ddsm.Engine.prints = base.Ddsm.Engine.prints in
-    Printf.printf "differential %d/%d: %s  cycles=%d  output %s\n" k n
-      (describe ~policy ~nprocs ~fault)
-      o.Ddsm.Engine.cycles
-      (if same then "identical" else "DIFFERS");
-    if not same then begin
-      Printf.eprintf
-        "differential mismatch: distribution/faults changed the program's \
-         output (transparency violation)\n";
-      List.iteri (fun i l -> Printf.eprintf "  base[%d]: %s\n" i l)
-        base.Ddsm.Engine.prints;
-      List.iteri (fun i l -> Printf.eprintf "  this[%d]: %s\n" i l)
-        o.Ddsm.Engine.prints;
-      exit 3
-    end
-  done;
+  List.iteri
+    (fun i (cfg, r) ->
+      let k = i + 1 in
+      let policy, nprocs, fault = cfg in
+      let o = unwrap cfg r in
+      let same = o.Ddsm.Engine.prints = base.Ddsm.Engine.prints in
+      Printf.printf "differential %d/%d: %s  cycles=%d  output %s\n" k n
+        (describe ~policy ~nprocs ~fault)
+        o.Ddsm.Engine.cycles
+        (if same then "identical" else "DIFFERS");
+      if not same then begin
+        Printf.eprintf
+          "differential mismatch: distribution/faults changed the program's \
+           output (transparency violation)\n";
+        List.iteri (fun i l -> Printf.eprintf "  base[%d]: %s\n" i l)
+          base.Ddsm.Engine.prints;
+        List.iteri (fun i l -> Printf.eprintf "  this[%d]: %s\n" i l)
+          o.Ddsm.Engine.prints;
+        exit 3
+      end)
+    (List.combine cfgs rest);
   Printf.printf "differential: %d configuration(s), outputs identical\n" n;
   base
 
 let run image nprocs policy machine heap_words stats no_checks bounds
-    max_cycles fault audit differ seed profile trace =
+    max_cycles fault audit differ seed jobs profile trace =
   try
     match Ddsm.load_image ~path:image with
     | Error e ->
@@ -132,7 +153,7 @@ let run image nprocs policy machine heap_words stats no_checks bounds
         match differ with
         | Some n when n >= 1 ->
             ignore
-              (differential linked ~n ~seed ~nprocs ~policy ~machine
+              (differential linked ~n ~seed ~jobs ~nprocs ~policy ~machine
                  ~heap_words ~checks ~bounds ~max_cycles ~audit)
         | _ -> (
             let prof =
@@ -243,6 +264,16 @@ let () =
       & info [ "seed" ] ~docv:"SEED"
           ~doc:"Random seed for $(b,--differential) configurations.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Ddsm_util.Jobs.default_jobs ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run $(b,--differential) configurations on up to N domains \
+             (default from $(b,DDSM_JOBS), else 1). Results are reported in \
+             configuration order, so the output is identical for any N.")
+  in
   let profile =
     Arg.(
       value & flag
@@ -267,7 +298,7 @@ let () =
          ~doc:"Run a linked image on the simulated Origin-2000.")
       Term.(
         const run $ image $ nprocs $ policy $ machine $ heap $ stats $ no_checks
-        $ bounds $ max_cycles $ fault $ audit $ differential $ seed $ profile
-        $ trace)
+        $ bounds $ max_cycles $ fault $ audit $ differential $ seed $ jobs
+        $ profile $ trace)
   in
   exit (Cmd.eval cmd)

@@ -318,6 +318,52 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
           end
 
     and handler t =
+      (* The Mem case runs once per simulated memory access. Its effect
+         arguments are stashed in per-task cells and the same closure (and
+         [Some] box) is handed back every time, so dispatching the hottest
+         effect allocates nothing. *)
+      let m_ws = ref t.tws and m_addr = ref 0 and m_write = ref false in
+      let mem_k (k : (unit, unit) Effect.Deep.continuation) =
+        let ws = !m_ws and waddr = !m_addr and write = !m_write in
+        cur_region := t.region;
+        let lat =
+          Memsys.access mem ~proc:ws.Eff.proc ~addr:(Heap.byte_of_word waddr)
+            ~write ~now:ws.Eff.clock
+        in
+        ws.Eff.clock <- ws.Eff.clock + lat;
+        if ws.Eff.clock > max_cycles then begin
+          trace "cycle-budget" Profile.Instant ~tid:ws.Eff.proc ~ts:ws.Eff.clock;
+          failure := Some (Eff.Cycle_limit max_cycles)
+        end
+        else begin
+          incr wakeups;
+          let w = !wakeups in
+          (* chaos fault: the completion wakeup is dropped and the task
+             stays parked forever — the watchdog's deadlock report must
+             name it *)
+          if Fault.wakeup_lost fault ~wakeup:w then begin
+            t.state <- Ready;
+            t.wait_k <- Some k;
+            t.lost_wakeup <- true;
+            trace "wakeup-lost" Profile.Instant ~tid:ws.Eff.proc
+              ~ts:ws.Eff.clock
+          end
+          else if lat > 0 && ws.Eff.clock < Heapq.min_key heap then
+            (* fast continue: the task's new clock is strictly ahead of
+               everything queued, so a push would pop right back (FIFO
+               tie-breaking never applies to a strictly smaller key).
+               Resume it directly and skip the park/push/pop round-trip.
+               [lat > 0] keeps frozen-clock livelocks on the heap path
+               where the watchdog can see them. *)
+            Effect.Deep.continue k ()
+          else begin
+            t.state <- Ready;
+            t.wait_k <- Some k;
+            push t
+          end
+        end
+      in
+      let mem_case = Some mem_k in
       {
         Effect.Deep.retc = (fun () -> finish t);
         exnc = (fun e -> failure := Some e);
@@ -325,35 +371,11 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
           (fun (type a) (eff : a Effect.t) ->
             match eff with
             | Eff.Mem (ws, waddr, write) ->
-                Some
-                  (fun (k : (a, unit) Effect.Deep.continuation) ->
-                    cur_region := t.region;
-                    let lat =
-                      Memsys.access mem ~proc:ws.Eff.proc
-                        ~addr:(Heap.byte_of_word waddr) ~write
-                        ~now:ws.Eff.clock
-                    in
-                    ws.Eff.clock <- ws.Eff.clock + lat;
-                    if ws.Eff.clock > max_cycles then begin
-                      trace "cycle-budget" Profile.Instant ~tid:ws.Eff.proc
-                        ~ts:ws.Eff.clock;
-                      failure := Some (Eff.Cycle_limit max_cycles)
-                    end
-                    else begin
-                      t.state <- Ready;
-                      t.wait_k <- Some k;
-                      incr wakeups;
-                      let w = !wakeups in
-                      (* chaos fault: the completion wakeup is dropped and
-                         the task stays parked forever — the watchdog's
-                         deadlock report must name it *)
-                      if Fault.wakeup_lost fault ~wakeup:w then begin
-                        t.lost_wakeup <- true;
-                        trace "wakeup-lost" Profile.Instant ~tid:ws.Eff.proc
-                          ~ts:ws.Eff.clock
-                      end
-                      else push t
-                    end)
+                m_ws := ws;
+                m_addr := waddr;
+                m_write := write;
+                (mem_case
+                  : ((a, unit) Effect.Deep.continuation -> unit) option)
             | Eff.Fork (ws, body, n, region) ->
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -399,9 +421,10 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
     let rec loop () =
       if !failure <> None then ()
       else
-        match Heapq.pop heap with
-        | None -> ()
-        | Some (key, t) ->
+        match Heapq.min_key heap with
+        | key when key = max_int -> ()
+        | key ->
+            let t = Heapq.pop_value heap in
             if key > !last_key then begin
               last_key := key;
               stalled := 0

@@ -12,5 +12,15 @@ type 'a t
 val create : unit -> 'a t
 val push : 'a t -> key:int -> 'a -> unit
 val pop : 'a t -> (int * 'a) option
+
+val min_key : 'a t -> int
+(** Smallest queued key without popping it, or [max_int] on an empty heap
+    (so "strictly before everything queued" is one comparison, no
+    allocation). *)
+
+val pop_value : 'a t -> 'a
+(** Allocation-free pop: the payload of the smallest (key, seq) entry.
+    Read the key first with {!min_key}. @raise Invalid_argument if empty. *)
+
 val is_empty : 'a t -> bool
 val size : 'a t -> int

@@ -4,7 +4,9 @@ type iarr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
    Origin-2000 scale) out of the GC's marking work. *)
 type t = {
   line_bytes : int;
+  line_shift : int; (* log2 line_bytes: line_of_addr is one lsr *)
   nsets : int;
+  set_mask : int; (* nsets - 1: set_of_line is one land *)
   assoc : int;
   tags : iarr; (* set*assoc + way -> line id, -1 = invalid *)
   dirty : Bytes.t;
@@ -20,13 +22,28 @@ let make_iarr n v =
 
 type evicted = { line : int; dirty : bool }
 
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let rec go x acc = if x <= 1 then acc else go (x lsr 1) (acc + 1) in
+  go x 0
+
 let create (cfg : Config.cache_cfg) =
   let nlines = cfg.size_bytes / cfg.line_bytes in
   let nsets = nlines / cfg.assoc in
   if nsets < 1 then invalid_arg "Cache.create: degenerate geometry";
+  (* the shift/mask fast path requires power-of-two geometry; anything else
+     would silently change the set mapping, so reject it loudly (and
+     Config.validate rejects it with a friendlier message first) *)
+  if not (is_pow2 cfg.line_bytes) then
+    invalid_arg "Cache.create: line_bytes not a power of two";
+  if not (is_pow2 nsets) then
+    invalid_arg "Cache.create: set count not a power of two";
   {
     line_bytes = cfg.line_bytes;
+    line_shift = log2 cfg.line_bytes;
     nsets;
+    set_mask = nsets - 1;
     assoc = cfg.assoc;
     tags = make_iarr nlines (-1);
     dirty = Bytes.make nlines '\000';
@@ -36,12 +53,18 @@ let create (cfg : Config.cache_cfg) =
   }
 
 let line_bytes t = t.line_bytes
-let line_of_addr t addr = addr / t.line_bytes
-let set_of_line t line = line mod t.nsets
+let line_of_addr t addr = addr lsr t.line_shift
+let set_of_line t line = line land t.set_mask
 
+(* [s + w] stays inside [tags] by construction (set index is masked, way
+   bounded by assoc), so the probe loop can elide bounds checks *)
 let find_way t line =
-  let s = set_of_line t line * t.assoc in
-  let rec go w = if w >= t.assoc then -1 else if Bigarray.Array1.get t.tags (s + w) = line then s + w else go (w + 1) in
+  let s = (line land t.set_mask) * t.assoc in
+  let rec go w =
+    if w >= t.assoc then -1
+    else if Bigarray.Array1.unsafe_get t.tags (s + w) = line then s + w
+    else go (w + 1)
+  in
   go 0
 
 let probe t ~line = find_way t line >= 0
@@ -50,7 +73,7 @@ let touch t ~line =
   let idx = find_way t line in
   if idx >= 0 then begin
     t.clock <- t.clock + 1;
-    Bigarray.Array1.set t.age idx t.clock;
+    Bigarray.Array1.unsafe_set t.age idx t.clock;
     true
   end
   else false
@@ -62,44 +85,47 @@ let insert t ~line ~dirty =
   let victim = ref (s) in
   let found_invalid = ref false in
   for w = 0 to t.assoc - 1 do
-    if (not !found_invalid) && Bigarray.Array1.get t.tags (s + w) = -1 then begin
+    if (not !found_invalid) && Bigarray.Array1.unsafe_get t.tags (s + w) = -1
+    then begin
       victim := s + w;
       found_invalid := true
     end
   done;
   if not !found_invalid then begin
     for w = 1 to t.assoc - 1 do
-      if Bigarray.Array1.get t.age (s + w) < Bigarray.Array1.get t.age !victim
+      if
+        Bigarray.Array1.unsafe_get t.age (s + w)
+        < Bigarray.Array1.unsafe_get t.age !victim
       then victim := s + w
     done
   end;
   let idx = !victim in
   let ev =
-    if Bigarray.Array1.get t.tags idx = -1 then None
+    if Bigarray.Array1.unsafe_get t.tags idx = -1 then None
     else
       Some
         {
-          line = Bigarray.Array1.get t.tags idx;
-          dirty = Bytes.get t.dirty idx <> '\000';
+          line = Bigarray.Array1.unsafe_get t.tags idx;
+          dirty = Bytes.unsafe_get t.dirty idx <> '\000';
         }
   in
   if ev = None then t.resident <- t.resident + 1;
-  Bigarray.Array1.set t.tags idx line;
-  Bytes.set t.dirty idx (if dirty then '\001' else '\000');
-  Bigarray.Array1.set t.age idx t.clock;
+  Bigarray.Array1.unsafe_set t.tags idx line;
+  Bytes.unsafe_set t.dirty idx (if dirty then '\001' else '\000');
+  Bigarray.Array1.unsafe_set t.age idx t.clock;
   ev
 
 let set_dirty t ~line =
   let idx = find_way t line in
-  if idx >= 0 then Bytes.set t.dirty idx '\001'
+  if idx >= 0 then Bytes.unsafe_set t.dirty idx '\001'
 
 let is_dirty t ~line =
   let idx = find_way t line in
-  idx >= 0 && Bytes.get t.dirty idx <> '\000'
+  idx >= 0 && Bytes.unsafe_get t.dirty idx <> '\000'
 
 let clear_dirty t ~line =
   let idx = find_way t line in
-  if idx >= 0 then Bytes.set t.dirty idx '\000'
+  if idx >= 0 then Bytes.unsafe_set t.dirty idx '\000'
 
 let invalidate t ~line =
   let idx = find_way t line in
@@ -113,7 +139,7 @@ let invalidate t ~line =
   end
 
 let invalidate_range t ~lo_addr ~hi_addr =
-  let lo = lo_addr / t.line_bytes and hi = hi_addr / t.line_bytes in
+  let lo = lo_addr lsr t.line_shift and hi = hi_addr lsr t.line_shift in
   let dirty_dropped = ref 0 in
   for line = lo to hi do
     if invalidate t ~line then incr dirty_dropped

@@ -74,6 +74,16 @@ let validate t =
     err "L1 size not a multiple of line*assoc"
   else if t.l2.size_bytes mod (t.l2.line_bytes * t.l2.assoc) <> 0 then
     err "L2 size not a multiple of line*assoc"
+  else if not (is_pow2 (t.l1.size_bytes / (t.l1.line_bytes * t.l1.assoc))) then
+    err
+      "L1 set count %d (size/line/assoc) must be a power of two: set \
+       indexing is shift/mask"
+      (t.l1.size_bytes / (t.l1.line_bytes * t.l1.assoc))
+  else if not (is_pow2 (t.l2.size_bytes / (t.l2.line_bytes * t.l2.assoc))) then
+    err
+      "L2 set count %d (size/line/assoc) must be a power of two: set \
+       indexing is shift/mask"
+      (t.l2.size_bytes / (t.l2.line_bytes * t.l2.assoc))
   else if t.tlb_entries < 1 then err "tlb_entries < 1"
   else if
     t.local_mem_cycles < 1 || t.remote_base_cycles < t.local_mem_cycles

@@ -5,7 +5,12 @@
     One entry per (physical) L2 cache line ever cached. A line is either
     uncached, shared by a set of processors, or exclusively owned by one
     processor (which may have dirtied it — the dirty bit itself lives in the
-    owner's cache). The protocol transitions are driven by {!Memsys}. *)
+    owner's cache). The protocol transitions are driven by {!Memsys}.
+
+    The table is flat (open addressing over packed int arrays): the hot
+    path asks only {!exclusive_owner}/{!is_uncached}, which read one packed
+    state word without allocating. {!Directory_ref} keeps the original
+    map-based implementation as the differential-oracle reference. *)
 
 type state =
   | Uncached
@@ -16,6 +21,13 @@ type t
 
 val create : nprocs:int -> t
 val state : t -> line:int -> state
+(** Materializes the sharer set on [Shared] lines — audit/test use; the
+    access path uses the allocation-free queries below. *)
+
+val exclusive_owner : t -> line:int -> int
+(** Owner of the line if it is in [Exclusive] state, else -1. *)
+
+val is_uncached : t -> line:int -> bool
 
 val set_exclusive : t -> line:int -> owner:int -> unit
 val add_sharer : t -> line:int -> proc:int -> unit

@@ -31,7 +31,20 @@ type t = {
   ctrs : Counters.t array;
   page_shift : int;
   page_mask : int;
+  l1_shift : int; (* log2 L1 line bytes *)
+  l2_shift : int; (* log2 L2 line bytes *)
+  l1_hit_cycles : int;
+  l2_hit_cycles : int;
+  tlb_miss_cycles : int;
+  (* per-processor one-entry translation memo: the last translated page and
+     its packed (node, frame) word. Purely a host-side cache of pagetable
+     state — it never changes a charged cycle (translation itself is free in
+     simulated time; only TLB misses cost cycles). Invalidated on migrate/
+     place/TLB-flush faults; [audit] cross-checks it against the table. *)
+  memo_page : int array; (* -1 = empty *)
+  memo_packed : int array;
   fault : Fault.t;
+  faults_off : bool; (* Fault.none: skip the per-access fault probes *)
   accesses : int array; (* per-proc translation count, for TLB-flush faults *)
   mutable probe : (access_event -> unit) option;
 }
@@ -57,10 +70,20 @@ let create cfg ~policy ?(fault = Fault.none) () =
     ctrs = Array.init n (fun _ -> Counters.create ());
     page_shift = log2 cfg.Config.page_bytes;
     page_mask = cfg.Config.page_bytes - 1;
+    l1_shift = log2 cfg.Config.l1.Config.line_bytes;
+    l2_shift = log2 cfg.Config.l2.Config.line_bytes;
+    l1_hit_cycles = cfg.Config.l1.Config.hit_cycles;
+    l2_hit_cycles = cfg.Config.l2.Config.hit_cycles;
+    tlb_miss_cycles = cfg.Config.tlb_miss_cycles;
+    memo_page = Array.make n (-1);
+    memo_packed = Array.make n (-1);
     fault;
+    faults_off = Fault.is_none fault;
     accesses = Array.make n 0;
     probe = None;
   }
+
+let invalidate_memos t = Array.fill t.memo_page 0 (Array.length t.memo_page) (-1)
 
 let config t = t.cfg
 let fault t = t.fault
@@ -74,12 +97,15 @@ let counters t ~proc = t.ctrs.(proc)
 let total_counters t = Counters.sum t.ctrs
 let reset_counters t = Array.iter Counters.reset t.ctrs
 
-let place_page t ~page ~node = Pagetable.place t.pt ~page ~node
+let place_page t ~page ~node =
+  Pagetable.place t.pt ~page ~node;
+  invalidate_memos t
 
 let place_bytes t ~lo ~hi ~node =
   for page = lo lsr t.page_shift to hi lsr t.page_shift do
     Pagetable.place t.pt ~page ~node
-  done
+  done;
+  invalidate_memos t
 
 let migrate_bytes t ~lo ~hi ~node =
   let moved = ref 0 in
@@ -87,6 +113,7 @@ let migrate_bytes t ~lo ~hi ~node =
     Pagetable.migrate t.pt ~page ~node;
     incr moved
   done;
+  invalidate_memos t;
   !moved
 
 (* Invalidate a physical L2 line (and the L1 lines under it) in processor
@@ -109,76 +136,144 @@ let module_service t ~node ~arrival =
   t.busy_until.(node) <- start + occupancy;
   start - arrival
 
-(* Enqueue a writeback at the line's home module; not on the writer's
-   critical path, but it consumes bandwidth. *)
-let enqueue_writeback t ~phys_line ~now =
-  let addr = phys_line * t.cfg.Config.l2.Config.line_bytes in
-  let node = Pagetable.node_of_frame t.pt (addr lsr t.page_shift) in
-  ignore (module_service t ~node ~arrival:now)
+(* Enqueue a writeback at the line's home module [node]; not on the
+   writer's critical path, but it consumes bandwidth. Callers that already
+   resolved the line's home thread it through instead of re-deriving it. *)
+let enqueue_writeback t ~node ~now = ignore (module_service t ~node ~arrival:now)
+
+(* home node of a physical L2 line, decoded arithmetically from its frame *)
+let node_of_phys_line t ~phys_line =
+  Pagetable.node_of_frame t.pt ((phys_line lsl t.l2_shift) lsr t.page_shift)
 
 let handle_l2_eviction t ~proc ~now (ev : Cache.evicted option) =
   match ev with
   | None -> ()
   | Some { line; dirty } ->
       (* inclusion: drop the L1 lines under the evicted L2 line *)
-      let lo = line * t.cfg.Config.l2.Config.line_bytes in
+      let lo = line lsl t.l2_shift in
       let hi = lo + t.cfg.Config.l2.Config.line_bytes - 1 in
       ignore (Cache.invalidate_range t.l1s.(proc) ~lo_addr:lo ~hi_addr:hi);
       Directory.drop t.dir ~line ~proc;
       if dirty then begin
         t.ctrs.(proc).Counters.writebacks <- t.ctrs.(proc).Counters.writebacks + 1;
-        enqueue_writeback t ~phys_line:line ~now
+        (* the victim line's home is not the current access's home: decode
+           it from the frame id (pure arithmetic, no table lookup) *)
+        enqueue_writeback t ~node:(node_of_phys_line t ~phys_line:line) ~now
       end
 
-let access t ~proc ~addr ~write ~now =
-  let c = t.ctrs.(proc) in
+(* one L1-hit access event; the fast-path exits share it *)
+let emit_hit_event probe ~proc ~addr ~write ~now ~tlb ~hit ~tlb_flushed =
+  probe
+    {
+      ev_proc = proc;
+      ev_addr = addr;
+      ev_write = write;
+      ev_now = now;
+      ev_tlb = tlb;
+      ev_hit = hit;
+      ev_local = 0;
+      ev_remote = 0;
+      ev_contention = 0;
+      ev_coherence = 0;
+      ev_tlb_flushed = tlb_flushed;
+    }
+
+let rec access t ~proc ~addr ~write ~now =
+  (* [proc] indexes every per-processor array and is engine-supplied and
+     in range; the hot path elides the redundant bounds checks *)
+  let c = Array.unsafe_get t.ctrs proc in
   if write then c.Counters.stores <- c.Counters.stores + 1
   else c.Counters.loads <- c.Counters.loads + 1;
-  let lat = ref 0 in
+  let page = addr lsr t.page_shift in
+  (* injected TLB-shootdown fault: periodically drop this processor's
+     translations (costs only the refill misses) *)
+  let acc = Array.unsafe_get t.accesses proc + 1 in
+  Array.unsafe_set t.accesses proc acc;
+  let tlb_flushed =
+    (not t.faults_off) && Fault.tlb_flush_due t.fault ~accesses:acc
+  in
+  if tlb_flushed then begin
+    Tlb.flush t.tlbs.(proc);
+    t.memo_page.(proc) <- -1
+  end;
+  (* 1. address translation: TLB (the only part that costs cycles), then
+     the one-entry memo in front of the flat page table *)
+  let tlb_c =
+    if Tlb.access (Array.unsafe_get t.tlbs proc) ~page then 0
+    else begin
+      c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
+      c.Counters.tlb_stall_cycles <-
+        c.Counters.tlb_stall_cycles + t.tlb_miss_cycles;
+      t.tlb_miss_cycles
+    end
+  in
+  let packed =
+    if Array.unsafe_get t.memo_page proc = page then
+      Array.unsafe_get t.memo_packed proc
+    else begin
+      let p =
+        Pagetable.translate t.pt ~page
+          ~faulting_node:(Config.node_of_proc t.cfg proc)
+      in
+      Array.unsafe_set t.memo_page proc page;
+      Array.unsafe_set t.memo_packed proc p;
+      p
+    end
+  in
+  let home = Pagetable.packed_node packed in
+  let phys_addr =
+    (Pagetable.packed_frame packed lsl t.page_shift) lor (addr land t.page_mask)
+  in
+  let l1 = Array.unsafe_get t.l1s proc in
+  let l1_line = phys_addr lsr t.l1_shift in
+  let l1_hit = Cache.touch l1 ~line:l1_line in
+  if l1_hit && not write then begin
+    (* common case: L1 read hit — TLB, one cache probe, nothing else *)
+    let lat = tlb_c + t.l1_hit_cycles in
+    c.Counters.mem_stall_cycles <- c.Counters.mem_stall_cycles + lat;
+    (match t.probe with
+    | None -> ()
+    | Some probe ->
+        emit_hit_event probe ~proc ~addr ~write ~now ~tlb:tlb_c
+          ~hit:t.l1_hit_cycles ~tlb_flushed);
+    lat
+  end
+  else
+    let l2 = t.l2s.(proc) in
+    let l2_line = phys_addr lsr t.l2_shift in
+    if l1_hit && Directory.exclusive_owner t.dir ~line:l2_line = proc then begin
+      (* L1 write hit on an exclusively-held line: one directory word *)
+      Cache.set_dirty l1 ~line:l1_line;
+      Cache.set_dirty l2 ~line:l2_line;
+      let lat = tlb_c + t.l1_hit_cycles in
+      c.Counters.mem_stall_cycles <- c.Counters.mem_stall_cycles + lat;
+      (match t.probe with
+      | None -> ()
+      | Some probe ->
+          emit_hit_event probe ~proc ~addr ~write ~now ~tlb:tlb_c
+            ~hit:t.l1_hit_cycles ~tlb_flushed);
+      lat
+    end
+    else
+      access_slow t ~proc ~addr ~write ~now ~c ~tlb_c ~tlb_flushed ~home ~l1
+        ~l2 ~l1_line ~l2_line ~l1_hit
+
+(* everything below the L1 fast path: L2 hits, upgrades, directory
+   transactions, fills. Charges and counters are identical to the
+   pre-fast-path implementation. *)
+and access_slow t ~proc ~addr ~write ~now ~c ~tlb_c ~tlb_flushed ~home ~l1
+    ~l2 ~l1_line ~l2_line ~l1_hit =
+  let my_node = Config.node_of_proc t.cfg proc in
+  let lat = ref tlb_c in
   (* cause-tagged slices of [lat], reported to the probe (profiler). Every
      cycle added to [lat] below is also added to exactly one slice. *)
-  let tlb_c = ref 0
+  let tlb_c = ref tlb_c
   and hit_c = ref 0
   and fill_c = ref 0
   and cont_c = ref 0
   and coh_c = ref 0 in
-  let page = addr lsr t.page_shift in
-  (* injected TLB-shootdown fault: periodically drop this processor's
-     translations (costs only the refill misses) *)
-  t.accesses.(proc) <- t.accesses.(proc) + 1;
-  let tlb_flushed = Fault.tlb_flush_due t.fault ~accesses:t.accesses.(proc) in
-  if tlb_flushed then Tlb.flush t.tlbs.(proc);
-  (* 1. address translation *)
-  if not (Tlb.access t.tlbs.(proc) ~page) then begin
-    c.Counters.tlb_misses <- c.Counters.tlb_misses + 1;
-    c.Counters.tlb_stall_cycles <-
-      c.Counters.tlb_stall_cycles + t.cfg.Config.tlb_miss_cycles;
-    tlb_c := !tlb_c + t.cfg.Config.tlb_miss_cycles;
-    lat := !lat + t.cfg.Config.tlb_miss_cycles
-  end;
-  let my_node = Config.node_of_proc t.cfg proc in
-  let home = Pagetable.home t.pt ~page ~faulting_node:my_node in
-  let phys_addr =
-    (Pagetable.frame t.pt ~page lsl t.page_shift) lor (addr land t.page_mask)
-  in
-  let l1 = t.l1s.(proc) and l2 = t.l2s.(proc) in
-  let l1_line = phys_addr / t.cfg.Config.l1.Config.line_bytes in
-  let l2_line = phys_addr / t.cfg.Config.l2.Config.line_bytes in
-  let exclusive_mine () =
-    match Directory.state t.dir ~line:l2_line with
-    | Directory.Exclusive q -> q = proc
-    | _ -> false
-  in
-  let l1_hit = Cache.touch l1 ~line:l1_line in
-  if l1_hit && ((not write) || exclusive_mine ()) then begin
-    if write then begin
-      Cache.set_dirty l1 ~line:l1_line;
-      Cache.set_dirty l2 ~line:l2_line
-    end;
-    hit_c := !hit_c + t.cfg.Config.l1.Config.hit_cycles;
-    lat := !lat + t.cfg.Config.l1.Config.hit_cycles
-  end
-  else begin
+  let exclusive_mine () = Directory.exclusive_owner t.dir ~line:l2_line = proc in
+  begin
     if not l1_hit then c.Counters.l1_misses <- c.Counters.l1_misses + 1;
     let l2_hit = Cache.touch l2 ~line:l2_line in
     if l2_hit && ((not write) || exclusive_mine ()) then begin
@@ -242,7 +337,9 @@ let access t ~proc ~addr ~write ~now =
           fill_c := !fill_c + base_lat;
           coh_c := !coh_c + c2c;
           lat := !lat + base_lat + c2c;
-          enqueue_writeback t ~phys_line:l2_line ~now:arrival;
+          (* the line being fetched lives on the accessed page, whose home
+             node we already hold — no page-table re-derivation *)
+          enqueue_writeback t ~node:home ~now:arrival;
           if write then begin
             ignore (smash_line t ~victim:q ~phys_line:l2_line);
             t.ctrs.(q).Counters.invals_received <-
@@ -293,9 +390,7 @@ let access t ~proc ~addr ~write ~now =
       | Some { line = evl; dirty = true } ->
           (* L1 victim writeback folds into L2 (on-chip, free); convert the
              L1 line id to the covering L2 line id *)
-          Cache.set_dirty l2
-            ~line:(evl * t.cfg.Config.l1.Config.line_bytes
-                   / t.cfg.Config.l2.Config.line_bytes)
+          Cache.set_dirty l2 ~line:((evl lsl t.l1_shift) lsr t.l2_shift)
       | _ -> ()
     end
     else if write then Cache.set_dirty l1 ~line:l1_line
@@ -390,6 +485,24 @@ let audit t =
             add
               (Audit.v "tlb-pagetable"
                  "p%d: TLB caches page %d which the pagetable never placed" p
-                 page))
+                 page));
+    (* translation memo: a non-empty memo must mirror the page table *)
+    if t.memo_page.(p) >= 0 then begin
+      let page = t.memo_page.(p) and packed = t.memo_packed.(p) in
+      match Pagetable.home_opt t.pt ~page with
+      | None ->
+          add
+            (Audit.v "translation-memo"
+               "p%d: memo caches page %d which the pagetable never placed" p
+               page)
+      | Some node ->
+          if
+            node <> Pagetable.packed_node packed
+            || Pagetable.frame t.pt ~page <> Pagetable.packed_frame packed
+          then
+            add
+              (Audit.v "translation-memo"
+                 "p%d: memo for page %d is stale (node/frame mismatch)" p page)
+    end
   done;
   List.rev_append !vs (Pagetable.audit t.pt)

@@ -1,11 +1,24 @@
 type policy = First_touch | Round_robin
 
-type entry = { mutable node : int; mutable frame : int }
+(* Virtual page numbers are dense (heap addresses start at 0), so the
+   page -> (node, frame) map is a growable flat int array of packed
+   node|frame words: translation on the access fast path is one bounds
+   check and one load, no hashing and no allocation. -1 marks an unplaced
+   page. The frame-allocation logic (coloring, spilling, overflow) is
+   unchanged from the Hashtbl-based implementation — frames must stay
+   bit-identical because they feed physical addresses and therefore cache
+   sets. [Pagetable_ref] preserves the map-based implementation as the
+   differential-oracle reference. *)
+
+let node_bits = 20
+let node_mask = (1 lsl node_bits) - 1
 
 type t = {
   cfg : Config.t;
   policy : policy;
-  table : (int, entry) Hashtbl.t;
+  mutable table : int array; (* page -> (frame lsl node_bits) lor node; -1 = unplaced *)
+  mutable hi : int; (* one past the highest placed page *)
+  mutable placed : int;
   used : int array; (* frames allocated per node *)
   color_next : int array array; (* per-node, per-color allocation round *)
   colors : int;
@@ -29,7 +42,9 @@ let create cfg policy =
   {
     cfg;
     policy;
-    table = Hashtbl.create 4096;
+    table = Array.make 4096 (-1);
+    hi = 0;
+    placed = 0;
     used = Array.make nnodes 0;
     color_next = Array.init nnodes (fun _ -> Array.make colors 0);
     colors;
@@ -40,6 +55,34 @@ let create cfg policy =
   }
 
 let policy t = t.policy
+
+let pack ~node ~frame = (frame lsl node_bits) lor node
+let packed_node p = p land node_mask
+let packed_frame p = p lsr node_bits
+
+let ensure t page =
+  let n = Array.length t.table in
+  if page >= n then begin
+    let n' = ref (2 * n) in
+    while page >= !n' do
+      n' := 2 * !n'
+    done;
+    let table' = Array.make !n' (-1) in
+    Array.blit t.table 0 table' 0 n;
+    t.table <- table'
+  end
+
+(* packed word of a page, or -1 when unplaced (or out of any table yet
+   grown) *)
+let find t page =
+  if page < 0 then invalid_arg "Pagetable: negative page";
+  if page < Array.length t.table then Array.unsafe_get t.table page else -1
+
+let store t page packed =
+  ensure t page;
+  if t.table.(page) < 0 then t.placed <- t.placed + 1;
+  t.table.(page) <- packed;
+  if page >= t.hi then t.hi <- page + 1
 
 (* global frame id = node * frame_stride + local frame; local frames are
    color + round*colors with round bounded by the node capacity (plus the
@@ -80,46 +123,56 @@ let alloc_frame t node ~page =
 
 let place_new t ~page ~node =
   let actual, frame = alloc_frame t node ~page in
-  Hashtbl.replace t.table page { node = actual; frame }
+  store t page (pack ~node:actual ~frame)
 
 let place t ~page ~node =
-  if not (Hashtbl.mem t.table page) then place_new t ~page ~node
+  if find t page < 0 then place_new t ~page ~node
 
-let home t ~page ~faulting_node =
-  match Hashtbl.find_opt t.table page with
-  | Some e -> e.node
-  | None ->
-      let node =
-        match t.policy with
-        | First_touch -> faulting_node
-        | Round_robin ->
-            let n = t.rr_next in
-            t.rr_next <- (t.rr_next + 1) mod t.nnodes;
-            n
-      in
-      place_new t ~page ~node;
-      (Hashtbl.find t.table page).node
+(* fast path: packed (node, frame) word, placing per policy on first touch *)
+let translate t ~page ~faulting_node =
+  let p = find t page in
+  if p >= 0 then p
+  else begin
+    let node =
+      match t.policy with
+      | First_touch -> faulting_node
+      | Round_robin ->
+          let n = t.rr_next in
+          t.rr_next <- (t.rr_next + 1) mod t.nnodes;
+          n
+    in
+    place_new t ~page ~node;
+    t.table.(page)
+  end
+
+let home t ~page ~faulting_node = packed_node (translate t ~page ~faulting_node)
 
 let home_opt t ~page =
-  Option.map (fun e -> e.node) (Hashtbl.find_opt t.table page)
+  let p = find t page in
+  if p < 0 then None else Some (packed_node p)
 
 let migrate t ~page ~node =
   let actual, frame = alloc_frame t node ~page in
-  match Hashtbl.find_opt t.table page with
-  | Some e ->
-      e.node <- actual;
-      e.frame <- frame
-  | None -> Hashtbl.replace t.table page { node = actual; frame }
+  store t page (pack ~node:actual ~frame)
 
 let frame t ~page =
-  match Hashtbl.find_opt t.table page with
-  | Some e -> e.frame
-  | None -> invalid_arg "Pagetable.frame: page not placed"
+  let p = find t page in
+  if p < 0 then invalid_arg "Pagetable.frame: page not placed"
+  else packed_frame p
 
 let pages_on_node t ~node =
-  Hashtbl.fold (fun _ e acc -> if e.node = node then acc + 1 else acc) t.table 0
+  let c = ref 0 in
+  for page = 0 to t.hi - 1 do
+    let p = t.table.(page) in
+    if p >= 0 && packed_node p = node then incr c
+  done;
+  !c
 
-let iter t f = Hashtbl.iter (fun page e -> f ~page ~node:e.node ~frame:e.frame) t.table
+let iter t f =
+  for page = 0 to t.hi - 1 do
+    let p = t.table.(page) in
+    if p >= 0 then f ~page ~node:(packed_node p) ~frame:(packed_frame p)
+  done
 
 (* physical frames are unique, and (outside the overflow region used when
    the whole machine is full) a frame decodes back to the node its page is
@@ -127,7 +180,7 @@ let iter t f = Hashtbl.iter (fun page e -> f ~page ~node:e.node ~frame:e.frame) 
 let audit t =
   let module Audit = Ddsm_check.Audit in
   let vs = ref [] in
-  let frames = Hashtbl.create (Hashtbl.length t.table) in
+  let frames = Hashtbl.create (max 16 t.placed) in
   iter t (fun ~page ~node ~frame ->
       (match Hashtbl.find_opt frames frame with
       | Some other ->
@@ -145,4 +198,4 @@ let audit t =
           :: !vs);
   List.rev !vs
 
-let placed_pages t = Hashtbl.length t.table
+let placed_pages t = t.placed

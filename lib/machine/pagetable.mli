@@ -10,7 +10,13 @@
     credits for reduced cache interference on reshaped arrays (§8.2). When a
     node's memory fills up, frames spill to subsequent nodes (this is what
     makes the paper's class-C LU incur remote references even on one
-    processor, §8.1). *)
+    processor, §8.1).
+
+    The map itself is a growable flat int array indexed by virtual page
+    (pages are dense: heap addresses start at 0), each entry a packed
+    node|frame word — the access fast path pays one load, no hashing, no
+    allocation. {!Pagetable_ref} keeps the original map-based
+    implementation as the differential-oracle reference. *)
 
 type policy = First_touch | Round_robin
 
@@ -18,6 +24,15 @@ type t
 
 val create : Config.t -> policy -> t
 val policy : t -> policy
+
+val translate : t -> page:int -> faulting_node:int -> int
+(** Packed translation word of [page], assigning a home per policy on first
+    touch (like {!home}, which is [packed_node] of this). Decode with
+    {!packed_node}/{!packed_frame}; the word is non-negative, so callers
+    can cache it in flat arrays with -1 as the empty mark. *)
+
+val packed_node : int -> int
+val packed_frame : int -> int
 
 val place : t -> page:int -> node:int -> unit
 (** Explicitly place an *unplaced* page on [node] (spilling if full). If the

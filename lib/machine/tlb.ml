@@ -1,36 +1,83 @@
+(* Flat fully-associative LRU TLB. Entries live compacted in the first
+   [used] slots of two plain int arrays, so a hit is a short linear scan
+   (the TLB holds at most 64 entries) and a refill never allocates —
+   replacing the previous Hashtbl (two hash probes plus bucket allocation
+   per access on the simulator's hottest path).
+
+   LRU stamps are unique (the clock advances on every access), so the
+   eviction victim is the same translation the Hashtbl implementation chose:
+   hit/miss sequences are bit-identical. A one-entry memo short-circuits the
+   scan for the common run of consecutive accesses to one page. *)
+
 type t = {
   entries : int;
-  table : (int, int) Hashtbl.t; (* page -> last-use stamp *)
+  pages : int array; (* slots 0..used-1 hold resident page numbers *)
+  stamps : int array; (* last-use clock per slot *)
+  mutable used : int;
   mutable clock : int;
+  mutable last : int; (* slot of the most recent hit/refill, -1 after flush *)
 }
 
 let create ~entries =
   if entries < 1 then invalid_arg "Tlb.create: entries < 1";
-  { entries; table = Hashtbl.create (2 * entries); clock = 0 }
+  {
+    entries;
+    pages = Array.make entries (-1);
+    stamps = Array.make entries 0;
+    used = 0;
+    clock = 0;
+    last = -1;
+  }
 
 let access t ~page =
   t.clock <- t.clock + 1;
-  if Hashtbl.mem t.table page then (
-    Hashtbl.replace t.table page t.clock;
-    true)
+  if t.last >= 0 && t.pages.(t.last) = page then begin
+    t.stamps.(t.last) <- t.clock;
+    true
+  end
   else begin
-    if Hashtbl.length t.table >= t.entries then begin
-      (* evict LRU: scan the (small, bounded) table *)
-      let victim = ref (-1) and oldest = ref max_int in
-      Hashtbl.iter
-        (fun p stamp ->
-          if stamp < !oldest then begin
-            oldest := stamp;
-            victim := p
-          end)
-        t.table;
-      Hashtbl.remove t.table !victim
-    end;
-    Hashtbl.replace t.table page t.clock;
-    false
+    let slot = ref (-1) in
+    (let i = ref 0 in
+     while !slot < 0 && !i < t.used do
+       if t.pages.(!i) = page then slot := !i;
+       incr i
+     done);
+    if !slot >= 0 then begin
+      t.stamps.(!slot) <- t.clock;
+      t.last <- !slot;
+      true
+    end
+    else begin
+      let idx =
+        if t.used < t.entries then begin
+          let i = t.used in
+          t.used <- i + 1;
+          i
+        end
+        else begin
+          (* evict the LRU entry: stamps are unique, victim is unambiguous *)
+          let victim = ref 0 in
+          for i = 1 to t.used - 1 do
+            if t.stamps.(i) < t.stamps.(!victim) then victim := i
+          done;
+          !victim
+        end
+      in
+      t.pages.(idx) <- page;
+      t.stamps.(idx) <- t.clock;
+      t.last <- idx;
+      false
+    end
   end
 
-let flush t = Hashtbl.reset t.table
+let flush t =
+  t.used <- 0;
+  t.last <- -1
+
 let entries t = t.entries
-let resident t = Hashtbl.length t.table
-let iter_resident t f = Hashtbl.iter (fun page _ -> f ~page) t.table
+let resident t = t.used
+
+let iter_resident t f =
+  for i = 0 to t.used - 1 do
+    f ~page:t.pages.(i)
+  done

@@ -10,12 +10,15 @@ let word_bytes = 8
 
 exception Out_of_memory of string
 
+(* Zeroing policy: words are zeroed when [alloc] hands them out, not at
+   [create]. Program-visible memory (always inside some allocation) still
+   reads deterministically as zero until written, but creating a runtime
+   costs O(live data) instead of O(heap size) — sweep harnesses build one
+   heap per job, and a prefill of the whole arena dominated small runs. *)
 let create ~words =
   if words < 1 then invalid_arg "Heap.create";
   let reals = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout words in
   let ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout words in
-  Bigarray.Array1.fill reals 0.0;
-  Bigarray.Array1.fill ints 0;
   { reals; ints; brk = 0 }
 
 let size_words t = Bigarray.Array1.dim t.reals
@@ -31,6 +34,11 @@ let alloc t ~words ~align_words =
             "out of simulated memory: need %d words at %d, heap holds %d"
             words base (size_words t)));
   t.brk <- base + words;
+  if words > 0 then begin
+    let sub a = Bigarray.Array1.sub a base words in
+    Bigarray.Array1.fill (sub t.reals) 0.0;
+    Bigarray.Array1.fill (sub t.ints) 0
+  end;
   base
 
 let get_real t w = Bigarray.Array1.get t.reals w

@@ -1,0 +1,58 @@
+(* Domain-parallel fan-out for independent deterministic simulations.
+
+   Every figure sweep and differential-oracle run is embarrassingly
+   parallel: each job builds its own [Rt]/[Memsys] and shares nothing with
+   its siblings. [map] farms such jobs out over OCaml 5 domains, returning
+   results (and re-raising exceptions) in job-list order, so the observable
+   output of a parallel sweep is byte-identical to the sequential one. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "DDSM_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "DDSM_JOBS=%S: expected a positive integer" s))
+
+type 'b slot = Pending | Done of 'b | Raised of exn
+
+let map ?(jobs = 1) f xs =
+  if jobs < 1 then invalid_arg "Jobs.map: jobs < 1";
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (match f inputs.(i) with
+            | y -> Done y
+            | exception e -> Raised e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* deterministic reduction: deliver results — and the first failure —
+       in job order, regardless of which domain ran what when *)
+    Array.to_list
+      (Array.map
+         (function
+           | Done y -> y
+           | Raised e -> raise e
+           | Pending -> assert false)
+         results)
+  end
+
+let mapi ?jobs f xs = map ?jobs (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)

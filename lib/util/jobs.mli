@@ -1,0 +1,19 @@
+(** Domain-parallel map over independent deterministic jobs.
+
+    The simulator's sweeps (bench figures, [pflrun --differential]) run many
+    self-contained jobs — each builds its own runtime and machine — so they
+    fan out across OCaml 5 domains without any shared mutable state. Results
+    are reduced in job-list order and the first exception (in job order) is
+    re-raised, making a parallel sweep observably identical to a sequential
+    one. *)
+
+val default_jobs : unit -> int
+(** Job count from the [DDSM_JOBS] environment variable; 1 when unset.
+    Raises [Invalid_argument] on a malformed value. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs] domains
+    (the calling domain included). [jobs <= 1] runs sequentially with no
+    domain spawned. [f] must not touch shared mutable state. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

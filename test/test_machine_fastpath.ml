@@ -1,0 +1,289 @@
+(* Differential oracle for the flat-table fast path (DESIGN.md "Simulator
+   performance"): random operation sequences must make the flat [Pagetable]
+   and [Directory] bit-identical to their Hashtbl-based reference
+   implementations ([Pagetable_ref]/[Directory_ref]) on every observable.
+   Plus determinism tests for the [Jobs] domain pool: a parallel map must
+   return exactly what the sequential one does, including which exception
+   is re-raised. *)
+
+module Config = Ddsm_machine.Config
+module Pagetable = Ddsm_machine.Pagetable
+module Pagetable_ref = Ddsm_machine.Pagetable_ref
+module Directory = Ddsm_machine.Directory
+module Directory_ref = Ddsm_machine.Directory_ref
+module Bitset = Ddsm_machine.Bitset
+module Jobs = Ddsm_util.Jobs
+
+let rng seed = Random.State.make [| 0xDD5A; seed |]
+
+(* ------------------------------------------------------------------ *)
+(* pagetable oracle *)
+
+type pt_op =
+  | Home of int * int (* page, faulting node *)
+  | Place of int * int (* page, node *)
+  | Migrate of int * int (* page (forced placed first), node *)
+  | Home_opt of int
+  | Frame of int (* page, forced placed first *)
+
+let gen_pt_op rand nnodes npages =
+  let module G = QCheck.Gen in
+  let page = G.generate1 ~rand (G.int_range 0 (npages - 1)) in
+  let node = G.generate1 ~rand (G.int_range 0 (nnodes - 1)) in
+  match G.generate1 ~rand (G.int_range 0 4) with
+  | 0 -> Home (page, node)
+  | 1 -> Place (page, node)
+  | 2 -> Migrate (page, node)
+  | 3 -> Home_opt page
+  | _ -> Frame page
+
+let pp_pt_op = function
+  | Home (p, n) -> Printf.sprintf "home %d @%d" p n
+  | Place (p, n) -> Printf.sprintf "place %d on %d" p n
+  | Migrate (p, n) -> Printf.sprintf "migrate %d to %d" p n
+  | Home_opt p -> Printf.sprintf "home_opt %d" p
+  | Frame p -> Printf.sprintf "frame %d" p
+
+(* apply one op to both tables; return both observations as strings *)
+let apply_pt (flat, ref_) op =
+  match op with
+  | Home (page, faulting_node) ->
+      ( string_of_int (Pagetable.home flat ~page ~faulting_node),
+        string_of_int (Pagetable_ref.home ref_ ~page ~faulting_node) )
+  | Place (page, node) ->
+      Pagetable.place flat ~page ~node;
+      Pagetable_ref.place ref_ ~page ~node;
+      ("", "")
+  | Migrate (page, node) ->
+      (* force placement so migrate acts on a placed page in both *)
+      ignore (Pagetable.home flat ~page ~faulting_node:0);
+      ignore (Pagetable_ref.home ref_ ~page ~faulting_node:0);
+      Pagetable.migrate flat ~page ~node;
+      Pagetable_ref.migrate ref_ ~page ~node;
+      ("", "")
+  | Home_opt page ->
+      let s = function None -> "-" | Some n -> string_of_int n in
+      (s (Pagetable.home_opt flat ~page), s (Pagetable_ref.home_opt ref_ ~page))
+  | Frame page ->
+      ignore (Pagetable.home flat ~page ~faulting_node:0);
+      ignore (Pagetable_ref.home ref_ ~page ~faulting_node:0);
+      let f = Pagetable.frame flat ~page
+      and fr = Pagetable_ref.frame ref_ ~page in
+      ( Printf.sprintf "%d@%d" f (Pagetable.node_of_frame flat f),
+        Printf.sprintf "%d@%d" fr (Pagetable_ref.node_of_frame ref_ fr) )
+
+let pt_summary_flat t nnodes =
+  let per =
+    List.init nnodes (fun n -> string_of_int (Pagetable.pages_on_node t ~node:n))
+  in
+  Printf.sprintf "placed=%d per-node=%s" (Pagetable.placed_pages t)
+    (String.concat "," per)
+
+let pt_summary_ref t nnodes =
+  let per =
+    List.init nnodes (fun n ->
+        string_of_int (Pagetable_ref.pages_on_node t ~node:n))
+  in
+  Printf.sprintf "placed=%d per-node=%s" (Pagetable_ref.placed_pages t)
+    (String.concat "," per)
+
+let test_pagetable_oracle () =
+  for seed = 1 to 60 do
+    let rand = rng seed in
+    let module G = QCheck.Gen in
+    let nprocs = G.generate1 ~rand (G.oneofl [ 2; 4; 8 ]) in
+    let policy =
+      G.generate1 ~rand
+        (G.oneofl [ Pagetable.First_touch; Pagetable.Round_robin ])
+    in
+    let cfg = Config.scaled ~nprocs ~factor:64 () in
+    let nnodes = max 1 (nprocs / 2) in
+    (* enough pages to overflow nodes and exercise the spill path *)
+    let npages = G.generate1 ~rand (G.int_range 32 768) in
+    let nops = G.generate1 ~rand (G.int_range 50 400) in
+    let flat = Pagetable.create cfg policy
+    and ref_ = Pagetable_ref.create cfg policy in
+    for k = 1 to nops do
+      let op = gen_pt_op rand nnodes npages in
+      let a, b = apply_pt (flat, ref_) op in
+      if a <> b then
+        Alcotest.failf "seed %d op %d (%s): flat=%S ref=%S" seed k (pp_pt_op op)
+          a b
+    done;
+    let a = pt_summary_flat flat nnodes and b = pt_summary_ref ref_ nnodes in
+    if a <> b then Alcotest.failf "seed %d summary: flat=%S ref=%S" seed a b
+  done
+
+(* ------------------------------------------------------------------ *)
+(* directory oracle *)
+
+type dir_op =
+  | Set_exclusive of int * int
+  | Add_sharer of int * int
+  | Drop of int * int
+  | State of int
+  | Sharers_except of int * int
+
+let gen_line rand =
+  let module G = QCheck.Gen in
+  (* mix dense small ids with sparse page-strided ones: collisions and
+     growth both get exercised *)
+  if G.generate1 ~rand G.bool then G.generate1 ~rand (G.int_range 0 63)
+  else
+    (G.generate1 ~rand (G.int_range 0 4096) * 512)
+    + G.generate1 ~rand (G.int_range 0 7)
+
+let gen_dir_op rand nprocs =
+  let module G = QCheck.Gen in
+  let line = gen_line rand in
+  let proc = G.generate1 ~rand (G.int_range 0 (nprocs - 1)) in
+  match G.generate1 ~rand (G.int_range 0 4) with
+  | 0 -> Set_exclusive (line, proc)
+  | 1 -> Add_sharer (line, proc)
+  | 2 -> Drop (line, proc)
+  | 3 -> State line
+  | _ -> Sharers_except (line, proc)
+
+let pp_dir_op = function
+  | Set_exclusive (l, p) -> Printf.sprintf "set_exclusive %d <- %d" l p
+  | Add_sharer (l, p) -> Printf.sprintf "add_sharer %d + %d" l p
+  | Drop (l, p) -> Printf.sprintf "drop %d - %d" l p
+  | State l -> Printf.sprintf "state %d" l
+  | Sharers_except (l, p) -> Printf.sprintf "sharers_except %d \\ %d" l p
+
+let canon_flat_state t line =
+  match Directory.state t ~line with
+  | Directory.Uncached -> "U"
+  | Directory.Exclusive p -> Printf.sprintf "E%d" p
+  | Directory.Shared _ ->
+      let l = List.sort compare (Directory.sharers_except t ~line ~proc:(-1)) in
+      "S" ^ String.concat "," (List.map string_of_int l)
+
+let canon_ref_state t line =
+  match Directory_ref.state t ~line with
+  | Directory_ref.Uncached -> "U"
+  | Directory_ref.Exclusive p -> Printf.sprintf "E%d" p
+  | Directory_ref.Shared _ ->
+      let l =
+        List.sort compare (Directory_ref.sharers_except t ~line ~proc:(-1))
+      in
+      "S" ^ String.concat "," (List.map string_of_int l)
+
+let apply_dir (flat, ref_) op =
+  match op with
+  | Set_exclusive (line, owner) ->
+      Directory.set_exclusive flat ~line ~owner;
+      Directory_ref.set_exclusive ref_ ~line ~owner;
+      (* the fast-path query must agree with the full state *)
+      let o = Directory.exclusive_owner flat ~line in
+      ((if o = owner then "" else Printf.sprintf "owner=%d" o), "")
+  | Add_sharer (line, proc) ->
+      Directory.add_sharer flat ~line ~proc;
+      Directory_ref.add_sharer ref_ ~line ~proc;
+      ("", "")
+  | Drop (line, proc) ->
+      Directory.drop flat ~line ~proc;
+      Directory_ref.drop ref_ ~line ~proc;
+      ("", "")
+  | State line -> (canon_flat_state flat line, canon_ref_state ref_ line)
+  | Sharers_except (line, proc) ->
+      let s l = String.concat "," (List.map string_of_int (List.sort compare l)) in
+      ( s (Directory.sharers_except flat ~line ~proc),
+        s (Directory_ref.sharers_except ref_ ~line ~proc) )
+
+let test_directory_oracle () =
+  for seed = 1 to 60 do
+    let rand = rng (1000 + seed) in
+    let module G = QCheck.Gen in
+    let nprocs = G.generate1 ~rand (G.oneofl [ 2; 8; 64; 80 ]) in
+    let nops = G.generate1 ~rand (G.int_range 100 1500) in
+    let flat = Directory.create ~nprocs
+    and ref_ = Directory_ref.create ~nprocs in
+    let touched = Hashtbl.create 64 in
+    for k = 1 to nops do
+      let op = gen_dir_op rand nprocs in
+      (match op with
+      | Set_exclusive (l, _) | Add_sharer (l, _) -> Hashtbl.replace touched l ()
+      | _ -> ());
+      let a, b = apply_dir (flat, ref_) op in
+      if a <> b then
+        Alcotest.failf "seed %d op %d (%s): flat=%S ref=%S" seed k
+          (pp_dir_op op) a b
+    done;
+    (* final sweep: every line ever cached agrees, plus the allocation-free
+       queries agree with the materialized state *)
+    Hashtbl.iter
+      (fun line () ->
+        let a = canon_flat_state flat line
+        and b = canon_ref_state ref_ line in
+        if a <> b then Alcotest.failf "seed %d line %d: flat=%S ref=%S" seed line a b;
+        let unc = Directory.is_uncached flat ~line in
+        if unc <> (a = "U") then
+          Alcotest.failf "seed %d line %d: is_uncached=%b state=%S" seed line
+            unc a)
+      touched
+  done
+
+(* ------------------------------------------------------------------ *)
+(* jobs determinism *)
+
+let test_jobs_order () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x * 2654435761) land 0xFFFFFF in
+  let seq = Jobs.map ~jobs:1 f xs in
+  List.iter
+    (fun jobs ->
+      let par = Jobs.map ~jobs f xs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d matches sequential" jobs)
+        seq par)
+    [ 2; 3; 4; 7 ]
+
+let test_jobs_mapi () =
+  let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+  let f i s = Printf.sprintf "%d:%s" i s in
+  Alcotest.(check (list string))
+    "mapi indices in order" (List.mapi f xs)
+    (Jobs.mapi ~jobs:3 f xs)
+
+exception Boom of int
+
+let test_jobs_first_failure () =
+  (* several jobs fail; whatever domain finishes first, the exception
+     delivered must be the FIRST failing job in list order *)
+  let xs = List.init 50 (fun i -> i) in
+  let f x = if x mod 7 = 3 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Jobs.map ~jobs f xs with
+      | _ -> Alcotest.fail "expected a failure"
+      | exception Boom x ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d raises earliest failure" jobs)
+            3 x)
+    [ 1; 4 ]
+
+let test_jobs_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Jobs.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "single" [ 9 ] (Jobs.map ~jobs:4 (fun x -> x * 9) [ 1 ])
+
+let () =
+  Alcotest.run "machine-fastpath"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "pagetable flat = reference" `Quick
+            test_pagetable_oracle;
+          Alcotest.test_case "directory flat = reference" `Quick
+            test_directory_oracle;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "map order deterministic" `Quick test_jobs_order;
+          Alcotest.test_case "mapi indices" `Quick test_jobs_mapi;
+          Alcotest.test_case "first failure re-raised" `Quick
+            test_jobs_first_failure;
+          Alcotest.test_case "empty and single" `Quick
+            test_jobs_empty_and_single;
+        ] );
+    ]
