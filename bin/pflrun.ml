@@ -56,10 +56,32 @@ let fail_diag d =
 
 (* One configured run of the linked image; a fresh machine every time. *)
 let run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
-    ~max_cycles ~audit ~fault ?profile () =
+    ~max_cycles ~audit ~fault ?profile ?sanitize () =
   let prog = Ddsm.prog_of_linked linked in
   let rt = Ddsm.make_rt ~machine ~policy ~heap_words ~fault ~nprocs () in
-  Ddsm.run prog ~rt ~checks ~bounds ?max_cycles ~audit ?profile ()
+  Ddsm.run prog ~rt ~checks ~bounds ?max_cycles ~audit ?profile ?sanitize ()
+
+(* the sanitizer classifies false sharing with the simulated machine's own
+   L2-line/page geometry, so build it from the same config make_rt uses *)
+let make_sanitizer ~machine ~nprocs =
+  let module Config = Ddsm_machine.Config in
+  let cfg =
+    match machine with
+    | Ddsm.Origin2000 -> Config.origin2000 ~nprocs
+    | Ddsm.Scaled factor -> Config.scaled ~nprocs ~factor ()
+  in
+  Ddsm.Sanitize.create ~nprocs
+    ~line_bytes:cfg.Config.l2.Config.line_bytes
+    ~page_bytes:cfg.Config.page_bytes ()
+
+let describe_report (r : Ddsm.Sanitize.report) =
+  let acc w = if w then "write" else "read" in
+  Printf.sprintf "array %s: p%d %s (%s) unordered with p%d %s (%s) at byte %d"
+    r.Ddsm.Sanitize.rep_array r.Ddsm.Sanitize.rep_first_proc
+    (acc r.Ddsm.Sanitize.rep_first_write)
+    r.Ddsm.Sanitize.rep_first_region r.Ddsm.Sanitize.rep_second_proc
+    (acc r.Ddsm.Sanitize.rep_second_write)
+    r.Ddsm.Sanitize.rep_second_region r.Ddsm.Sanitize.rep_addr
 
 (* --differential N: the transparency oracle. The same image runs under N
    extra configurations with randomized placement policy, processor count
@@ -142,7 +164,7 @@ let differential linked ~n ~seed ~jobs ~nprocs ~policy ~machine ~heap_words
   base
 
 let run image nprocs policy machine heap_words stats no_checks bounds
-    max_cycles fault audit differ seed jobs profile trace =
+    max_cycles fault audit differ seed jobs profile trace race race_json =
   try
     match Ddsm.load_image ~path:image with
     | Error e ->
@@ -160,9 +182,15 @@ let run image nprocs policy machine heap_words stats no_checks bounds
               if profile || trace <> None then Some (Ddsm.Profile.create ())
               else None
             in
+            let san =
+              if race || race_json <> None then
+                Some (make_sanitizer ~machine ~nprocs)
+              else None
+            in
             match
               run_once linked ~nprocs ~policy ~machine ~heap_words ~checks
-                ~bounds ~max_cycles ~audit ~fault ?profile:prof ()
+                ~bounds ~max_cycles ~audit ~fault ?profile:prof ?sanitize:san
+                ()
             with
             | Error d -> fail_diag d
             | Ok o ->
@@ -170,6 +198,40 @@ let run image nprocs policy machine heap_words stats no_checks bounds
                 Printf.printf "cycles: %d  (procs: %d)\n" o.Ddsm.Engine.cycles
                   nprocs;
                 if audit then print_endline "audit clean";
+                (match san with
+                | None -> ()
+                | Some s ->
+                    (match race_json with
+                    | None -> ()
+                    | Some path ->
+                        let oc = open_out path in
+                        Ddsm.Json.to_channel oc
+                          (Ddsm.Sanitize.report_json s);
+                        output_char oc '\n';
+                        close_out oc);
+                    Format.printf "%a" Ddsm.Sanitize.pp_report s;
+                    match Ddsm.Sanitize.races s with
+                    | [] -> ()
+                    | races ->
+                        (* a detected race is a bug in the simulated
+                           program: a structured user diagnosis, exit 2 *)
+                        let d =
+                          Ddsm.Diag.user ~phase:"sanitize"
+                            (Printf.sprintf
+                               "%d data race(s) detected (conflicting \
+                                accesses with no happens-before ordering)"
+                               (List.length races))
+                        in
+                        fail_diag
+                          {
+                            d with
+                            Ddsm.Diag.violations =
+                              List.map
+                                (fun r ->
+                                  Ddsm.Audit.v "data-race" "%s"
+                                    (describe_report r))
+                                races;
+                          });
                 if stats then begin
                   Format.printf "%a@." Ddsm_report.Stats.pp
                     (Ddsm_report.Stats.of_counters o.Ddsm.Engine.counters);
@@ -292,6 +354,27 @@ let () =
              redistributions, fault injections) as Chrome trace-event JSON \
              loadable in chrome://tracing or Perfetto.")
   in
+  let race =
+    Arg.(
+      value & flag
+      & info [ "race" ]
+          ~doc:
+            "Attach the happens-before sanitizer: report data races \
+             (conflicting unordered accesses to one word — exit code 2 with \
+             a structured report) and line/page false sharing (conflicting \
+             unordered accesses to distinct words of one cache line or \
+             page — advisory only), each labelled with its parallel region \
+             and array.")
+  in
+  let race_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "race-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the sanitizer report as JSON to FILE (implies \
+             $(b,--race)).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "pflrun" ~version:"1.0"
@@ -299,6 +382,6 @@ let () =
       Term.(
         const run $ image $ nprocs $ policy $ machine $ heap $ stats $ no_checks
         $ bounds $ max_cycles $ fault $ audit $ differential $ seed $ jobs
-        $ profile $ trace)
+        $ profile $ trace $ race $ race_json)
   in
   exit (Cmd.eval cmd)

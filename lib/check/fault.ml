@@ -6,6 +6,7 @@ type t = {
   tlb_flush_period : int;
   redist_fail : int;
   lose_wakeup : int;
+  drop_barrier : int;
 }
 
 let none =
@@ -17,21 +18,33 @@ let none =
     tlb_flush_period = 0;
     redist_fail = 0;
     lose_wakeup = 0;
+    drop_barrier = 0;
   }
 
 let is_none t = t = none
 
 let make ?(seed = 0) ?(slow_nodes = []) ?(hot_dirs = []) ?(slow_links = [])
-    ?(tlb_flush_period = 0) ?(redist_fail = 0) ?(lose_wakeup = 0) () =
+    ?(tlb_flush_period = 0) ?(redist_fail = 0) ?(lose_wakeup = 0)
+    ?(drop_barrier = 0) () =
   List.iter
     (fun (_, x) -> if x < 0 then invalid_arg "Fault.make: negative extra cycles")
     (slow_nodes @ hot_dirs);
   List.iter
     (fun (_, x) -> if x < 0 then invalid_arg "Fault.make: negative extra cycles")
     slow_links;
-  if tlb_flush_period < 0 || redist_fail < 0 || lose_wakeup < 0 then
-    invalid_arg "Fault.make: negative parameter";
-  { seed; slow_nodes; hot_dirs; slow_links; tlb_flush_period; redist_fail; lose_wakeup }
+  if tlb_flush_period < 0 || redist_fail < 0 || lose_wakeup < 0
+     || drop_barrier < 0
+  then invalid_arg "Fault.make: negative parameter";
+  {
+    seed;
+    slow_nodes;
+    hot_dirs;
+    slow_links;
+    tlb_flush_period;
+    redist_fail;
+    lose_wakeup;
+    drop_barrier;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic pseudo-random plans (48-bit LCG; no Random dependency so
@@ -64,7 +77,16 @@ let random ~seed ~nnodes =
   in
   let tlb_flush_period = [| 0; 0; 64; 256; 1024 |].(pick st 5) in
   let redist_fail = [| 0; 0; 1; 2; 4 |].(pick st 5) in
-  { seed; slow_nodes; hot_dirs; slow_links; tlb_flush_period; redist_fail; lose_wakeup = 0 }
+  {
+    seed;
+    slow_nodes;
+    hot_dirs;
+    slow_links;
+    tlb_flush_period;
+    redist_fail;
+    lose_wakeup = 0;
+    drop_barrier = 0;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Queries *)
@@ -88,6 +110,7 @@ let tlb_flush_due t ~accesses =
 
 let redist_attempt_fails t ~attempt = attempt >= 0 && attempt < t.redist_fail
 let wakeup_lost t ~wakeup = t.lose_wakeup > 0 && wakeup = t.lose_wakeup
+let barrier_dropped t ~barrier = t.drop_barrier > 0 && barrier = t.drop_barrier
 
 (* ------------------------------------------------------------------ *)
 (* Spec syntax *)
@@ -108,8 +131,12 @@ let to_spec t =
       @ (if t.redist_fail > 0 then
            [ Printf.sprintf "redist-fail=%d" t.redist_fail ]
          else [])
+      @ (if t.lose_wakeup > 0 then
+           [ Printf.sprintf "lose-wakeup=%d" t.lose_wakeup ]
+         else [])
       @
-      if t.lose_wakeup > 0 then [ Printf.sprintf "lose-wakeup=%d" t.lose_wakeup ]
+      if t.drop_barrier > 0 then
+        [ Printf.sprintf "drop-barrier=%d" t.drop_barrier ]
       else []
     in
     String.concat "," parts
@@ -165,6 +192,10 @@ let of_spec s =
                   match int_v () with
                   | Some n when n >= 0 -> go { acc with lose_wakeup = n } rest
                   | _ -> err "fault spec: lose-wakeup=%S wants a count >= 0" v)
+              | "drop-barrier" -> (
+                  match int_v () with
+                  | Some n when n >= 0 -> go { acc with drop_barrier = n } rest
+                  | _ -> err "fault spec: drop-barrier=%S wants a count >= 0" v)
               | "random" -> (
                   match Scanf.sscanf_opt v "%d:%d" (fun a b -> (a, b)) with
                   | Some (seed, nnodes) when nnodes >= 1 ->

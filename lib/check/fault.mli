@@ -38,6 +38,11 @@ type t = {
   lose_wakeup : int;
       (** chaos (not performance-side): drop the Nth memory-completion
           wakeup so the program deadlocks; 0 = off. For watchdog tests. *)
+  drop_barrier : int;
+      (** chaos (not performance-side): skip the Nth barrier note (1-based,
+          machine-wide) so one processor's barrier arrival is lost — the
+          classic missing-synchronization bug; 0 = off. For sanitizer
+          tests; never chosen by {!random}. *)
 }
 
 val none : t
@@ -53,6 +58,7 @@ val make :
   ?tlb_flush_period:int ->
   ?redist_fail:int ->
   ?lose_wakeup:int ->
+  ?drop_barrier:int ->
   unit ->
   t
 
@@ -86,6 +92,11 @@ val wakeup_lost : t -> wakeup:int -> bool
 (** Chaos: is memory-completion wakeup number [wakeup] (1-based,
     machine-wide) dropped? *)
 
+val barrier_dropped : t -> barrier:int -> bool
+(** Chaos: is barrier note number [barrier] (1-based, machine-wide)
+    dropped? A dropped note means one processor's arrival at a barrier is
+    never published — the sanitizer should report the resulting races. *)
+
 (** {2 Parsing and printing} *)
 
 val of_spec : string -> (t, string) result
@@ -98,6 +109,7 @@ val of_spec : string -> (t, string) result
     - [tlb=PERIOD]
     - [redist-fail=N]
     - [lose-wakeup=N]
+    - [drop-barrier=N]
     - [random=SEED:NNODES] (expands to {!random}; other clauses override)
 
     Example: ["slow=0:80,hotdir=1:40,tlb=512,redist-fail=2"]. *)

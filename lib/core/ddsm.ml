@@ -10,6 +10,7 @@ module Fault = Ddsm_check.Fault
 module Diag = Ddsm_check.Diag
 module Audit = Ddsm_check.Audit
 module Profile = Ddsm_report.Profile
+module Sanitize = Ddsm_sanitize.Sanitize
 module Json = Ddsm_report.Json
 
 type machine = Origin2000 | Scaled of int
@@ -50,12 +51,13 @@ let make_rt ?(machine = Scaled 64) ?(policy = Pagetable.First_touch)
   in
   Rt.create cfg ~policy ~heap_words ~job_procs:nprocs ?fault ()
 
-let run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit ?profile () =
+let run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit ?profile
+    ?sanitize () =
   Engine.run prog ~rt ?checks ?bounds ?max_cycles ?audit ?stall_limit ?profile
-    ()
+    ?sanitize ()
 
 let run_source ?flags ?machine ?policy ?heap_words ?machine_procs ?fault
-    ?(nprocs = 8) ?checks ?bounds ?max_cycles ?audit ?profile src =
+    ?(nprocs = 8) ?checks ?bounds ?max_cycles ?audit ?profile ?sanitize src =
   match compile_source ?flags ~fname:"<source>" src with
   | Error es -> Error (String.concat "\n" es)
   | Ok obj -> (
@@ -66,7 +68,10 @@ let run_source ?flags ?machine ?policy ?heap_words ?machine_procs ?fault
             make_rt ?machine ?policy ?heap_words ?machine_procs ?fault ~nprocs
               ()
           in
-          match run prog ~rt ?checks ?bounds ?max_cycles ?audit ?profile () with
+          match
+            run prog ~rt ?checks ?bounds ?max_cycles ?audit ?profile ?sanitize
+              ()
+          with
           | Ok _ as ok -> ok
           | Error d -> Error (Diag.to_string d)))
 

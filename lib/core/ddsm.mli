@@ -33,6 +33,11 @@ module Profile = Ddsm_report.Profile
 (** Cycle-attribution profiler and Chrome-trace event buffer; pass one to
     {!run}/{!run_source} via [?profile]. *)
 
+module Sanitize = Ddsm_sanitize.Sanitize
+(** Happens-before race detector and false-sharing classifier; pass one to
+    {!run}/{!run_source} via [?sanitize] and read its reports after the
+    run. *)
+
 module Json = Ddsm_report.Json
 (** Minimal JSON values (trace export, bench snapshots). *)
 
@@ -67,16 +72,18 @@ val make_rt :
 val run :
   Ddsm_exec.Prog.t -> rt:Ddsm_runtime.Rt.t -> ?checks:bool -> ?bounds:bool ->
   ?max_cycles:int -> ?audit:bool -> ?stall_limit:int -> ?profile:Profile.t ->
-  unit -> (Engine.outcome, Diag.t) result
+  ?sanitize:Sanitize.t -> unit -> (Engine.outcome, Diag.t) result
 (** See {!Ddsm_exec.Engine.run}: failures are structured diagnoses;
     [audit] adds a post-run invariant audit; [profile] attaches a
-    cycle-attribution profiler for the duration of the run. *)
+    cycle-attribution profiler for the duration of the run; [sanitize]
+    attaches a happens-before sanitizer (inspect it after the run). *)
 
 val run_source :
   ?flags:Flags.t -> ?machine:machine -> ?policy:Ddsm_machine.Pagetable.policy ->
   ?heap_words:int -> ?machine_procs:int -> ?fault:Fault.t -> ?nprocs:int ->
   ?checks:bool -> ?bounds:bool -> ?max_cycles:int -> ?audit:bool ->
-  ?profile:Profile.t -> string -> (Engine.outcome, string) result
+  ?profile:Profile.t -> ?sanitize:Sanitize.t -> string ->
+  (Engine.outcome, string) result
 (** One-shot: parse, analyse, lower, link and execute a single source
     string (default 8 processors). Compile/link diagnostics are joined into
     the error string; run diagnoses are rendered with

@@ -635,8 +635,7 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
   | Stmt.Continue -> fun _ -> ()
   | Stmt.Barrier ->
       fun ctx ->
-        Rt.note_event renv.g.rt ~name:"barrier" ~detail:""
-          ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
+        Rt.note_barrier renv.g.rt ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
   | Stmt.Return -> fun _ -> raise Return_local
   | Stmt.Print items ->
       let fs =
@@ -750,10 +749,23 @@ and compile_call renv name args : ctx -> unit =
           | Some e -> e
           | None -> Eff.error "internal: %s not compiled" name
         in
-        Fun.protect
-          ~finally:(fun () ->
-            List.iter (fun addr -> Argcheck.unregister g.rt.Rt.argcheck ~addr) regs)
-          (fun () -> entry ctx.ws argv)
+        (* not Fun.protect: an unregister underflow must surface as a plain
+           runtime error on the success path, and ~finally would wrap it in
+           Finally_raised *)
+        (match entry ctx.ws argv with
+        | () ->
+            List.iter
+              (fun addr ->
+                match Argcheck.unregister g.rt.Rt.argcheck ~addr with
+                | Ok () -> ()
+                | Error m -> Eff.error "%s" m)
+              regs
+        | exception e ->
+            List.iter
+              (fun addr ->
+                ignore (Argcheck.unregister g.rt.Rt.argcheck ~addr))
+              regs;
+            raise e)
 
 (* array actual argument: whole array (Var) or element (Ref) *)
 and compile_array_arg renv formal actual :

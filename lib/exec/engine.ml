@@ -7,6 +7,7 @@ module Counters = Ddsm_machine.Counters
 module Diag = Ddsm_check.Diag
 module Fault = Ddsm_check.Fault
 module Profile = Ddsm_report.Profile
+module Sanitize = Ddsm_sanitize.Sanitize
 open Ddsm_ir
 
 type outcome = {
@@ -174,7 +175,7 @@ let serial_region = "(serial)"
 
 let run prog ~rt ?(checks = true) ?(bounds = false)
     ?(max_cycles = max_int / 2) ?(audit = false) ?(stall_limit = 1_000_000)
-    ?profile () =
+    ?profile ?sanitize () =
   let prints = ref [] in
   let phase = ref "elaborate" in
   let mem = rt.Rt.mem in
@@ -204,31 +205,49 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
     | None -> ()
     | Some p -> Profile.event p ~name ?args ~ph ~tid ~ts ()
   in
-  (match profile with
-  | None -> ()
-  | Some p ->
-      Memsys.set_probe mem
-        (Some
-           (fun ev ->
-             Profile.record_access p ~region:!cur_region ev;
-             if ev.Memsys.ev_tlb_flushed then
-               Profile.event p ~name:"tlb-flush" ~cat:"fault" ~ph:Profile.Instant
-                 ~tid:ev.Memsys.ev_proc ~ts:ev.Memsys.ev_now ()));
-      rt.Rt.on_event <-
-        Some
-          (fun ~name ~detail ~proc ~now ->
-            let args =
-              if detail = "" then []
-              else [ ("detail", Ddsm_report.Json.Str detail) ]
-            in
-            Profile.event p ~name ~cat:"runtime" ~args ~ph:Profile.Instant
-              ~tid:proc ~ts:now ()));
+  let observing = profile <> None || sanitize <> None in
+  if observing then begin
+    Memsys.set_probe mem
+      (Some
+         (fun ev ->
+           (match profile with
+           | None -> ()
+           | Some p ->
+               Profile.record_access p ~region:!cur_region ev;
+               if ev.Memsys.ev_tlb_flushed then
+                 Profile.event p ~name:"tlb-flush" ~cat:"fault"
+                   ~ph:Profile.Instant ~tid:ev.Memsys.ev_proc
+                   ~ts:ev.Memsys.ev_now ());
+           match sanitize with
+           | None -> ()
+           | Some s -> Sanitize.on_access s ~region:!cur_region ev));
+    rt.Rt.on_event <-
+      Some
+        (fun ~name ~detail ~proc ~now ->
+          (match profile with
+          | None -> ()
+          | Some p ->
+              let args =
+                if detail = "" then []
+                else [ ("detail", Ddsm_report.Json.Str detail) ]
+              in
+              Profile.event p ~name ~cat:"runtime" ~args ~ph:Profile.Instant
+                ~tid:proc ~ts:now ());
+          match sanitize with
+          | Some s
+            when name = "barrier" || name = "redistribute"
+                 || name = "redistribute-fallback" ->
+              (* an in-region redistribution synchronizes like a barrier:
+                 every processor's preceding accesses are ordered before
+                 every processor's subsequent ones *)
+              Sanitize.on_barrier s ~proc
+          | _ -> ())
+  end;
   let detach_observers () =
-    match profile with
-    | None -> ()
-    | Some _ ->
-        Memsys.set_probe mem None;
-        rt.Rt.on_event <- None
+    if observing then begin
+      Memsys.set_probe mem None;
+      rt.Rt.on_event <- None
+    end
   in
   (* Full-context diagnosis: reason + where every simulated task stands.
      Built from whatever state exists when the failure is observed. *)
@@ -284,6 +303,13 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
           (fun name d ->
             Profile.register_array p ~name ~word_ranges:(Darray.word_ranges d))
           rt.Rt.arrays);
+    (match sanitize with
+    | None -> ()
+    | Some s ->
+        Hashtbl.iter
+          (fun name d ->
+            Sanitize.register_array s ~name ~word_ranges:(Darray.word_ranges d))
+          rt.Rt.arrays);
     phase := "compile";
     let g =
       Compilec.create prog ~rt ~checks ~bounds
@@ -313,6 +339,9 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                 trace r Profile.End ~tid:p.tws.Eff.proc ~ts:p.maxchild;
                 p.forked_region <- None
             | None -> ());
+            (match sanitize with
+            | None -> ()
+            | Some s -> Sanitize.on_join s);
             p.state <- Ready;
             push p
           end
@@ -386,6 +415,9 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                     t.children <- [];
                     t.forked_region <- Some region;
                     trace region Profile.Begin ~tid:ws.Eff.proc ~ts:ws.Eff.clock;
+                    (match sanitize with
+                    | None -> ()
+                    | Some s -> Sanitize.on_fork s ~region ~nprocs:n);
                     for p = n - 1 downto 0 do
                       let cws =
                         { Eff.proc = p; clock = ws.Eff.clock; depth = ws.Eff.depth + 1 }

@@ -26,6 +26,7 @@ val run :
   ?audit:bool ->
   ?stall_limit:int ->
   ?profile:Ddsm_report.Profile.t ->
+  ?sanitize:Ddsm_sanitize.Sanitize.t ->
   unit ->
   (outcome, Ddsm_check.Diag.t) result
 (** [checks] enables the §6 runtime argument checks (default true);
@@ -49,7 +50,14 @@ val run :
     executing parallel region and the owning array, and scheduler/runtime
     events (region enter/exit, barriers, redistributions, fault injections,
     watchdog trips) are appended to its bounded event trace. The machine
-    probe and runtime hook are detached again before [run] returns. *)
+    probe and runtime hook are detached again before [run] returns.
+
+    [sanitize] attaches a happens-before sanitizer
+    ({!Ddsm_sanitize.Sanitize}): the same access probe feeds its race
+    detector, and fork/join/barrier/redistribution events provide its
+    happens-before edges. Composes with [profile] (both observe every
+    access). With neither attached no probe is installed — the fast path
+    is untouched. *)
 
 val elaborate : Prog.t -> rt:Ddsm_runtime.Rt.t -> unit
 (** Allocate static storage only (exposed for tests). Raises

@@ -165,7 +165,9 @@ let parse_dist_kind st =
     | Token.TIdent "block" -> K.Block
     | Token.TIdent "cyclic" ->
         if accept st Token.TLparen then begin
+          let neg = accept st Token.TMinus in
           let k = int_lit st in
+          let k = if neg then -k else k in
           expect st Token.TRparen;
           if k < 1 then err st "cyclic(%d): chunk size must be >= 1" k;
           K.normalise (K.Cyclic_k k)
@@ -334,6 +336,10 @@ and parse_stmt st =
       let onto = parse_onto_opt st in
       newline st;
       Stmt.mk ~loc:l (Stmt.Redistribute { rarray; rkinds = kinds; ronto = onto })
+  | Token.TDirective "barrier" ->
+      advance st;
+      newline st;
+      Stmt.mk ~loc:l Stmt.Barrier
   | Token.TDirective d -> err st "unexpected directive c$%s here" d
   | Token.TIdent "do" ->
       advance st;

@@ -20,7 +20,9 @@ and kind =
   | Continue
   | Return
   | Print of Expr.t list
-  | Barrier  (** compiler-internal *)
+  | Barrier
+      (** surface [c$barrier] (an explicit synchronization point inside a
+          parallel region) and compiler-internal barriers *)
   | Par of par
       (** compiler-internal SPMD region produced by scheduling a
           [c$doacross]: every processor executes [pbody] with the reserved

@@ -146,6 +146,12 @@ let invalidate_range t ~lo_addr ~hi_addr =
   done;
   !dirty_dropped
 
+let clear_dirty_range t ~lo_addr ~hi_addr =
+  let lo = lo_addr lsr t.line_shift and hi = hi_addr lsr t.line_shift in
+  for line = lo to hi do
+    clear_dirty t ~line
+  done
+
 let resident_lines t = t.resident
 
 let iter_resident t f =

@@ -41,6 +41,13 @@ val invalidate_range : t -> lo_addr:int -> hi_addr:int -> int
     number of dirty lines dropped. Used to knock the (smaller) L1 lines out
     when an L2 line is invalidated. *)
 
+val clear_dirty_range : t -> lo_addr:int -> hi_addr:int -> unit
+(** Mark every resident line overlapping the byte range clean. Used to
+    downgrade the (smaller) L1 lines under an L2 line that loses
+    exclusivity: their modified data has already been forwarded and written
+    back at the L2 level, so a later L1 eviction must not fold a stale
+    dirty bit back into the now-shared L2 line. *)
+
 val resident_lines : t -> int
 
 val iter_resident : t -> (line:int -> dirty:bool -> unit) -> unit

@@ -116,6 +116,14 @@ let migrate_bytes t ~lo ~hi ~node =
   invalidate_memos t;
   !moved
 
+let migrate_page t ~page ~node =
+  Pagetable.migrate t.pt ~page ~node;
+  (* migration allocates a fresh frame: stale translations anywhere would
+     hand out the old frame's cache lines, so shoot the page down in every
+     processor's TLB and drop the one-entry translation memos *)
+  Array.iter (fun tlb -> Tlb.invalidate tlb ~page) t.tlbs;
+  invalidate_memos t
+
 (* Invalidate a physical L2 line (and the L1 lines under it) in processor
    [victim]'s caches. Returns true if the dropped L2 copy was dirty. *)
 let smash_line t ~victim ~phys_line =
@@ -348,8 +356,13 @@ and access_slow t ~proc ~addr ~write ~now ~c ~tlb_c ~tlb_flushed ~home ~l1
             Directory.set_exclusive t.dir ~line:l2_line ~owner:proc
           end
           else begin
-            (* owner's copy becomes clean-shared *)
+            (* owner's copy becomes clean-shared — in L1 too, or a later L1
+               victim eviction would fold its stale dirty bit back into the
+               now-shared L2 line *)
             Cache.clear_dirty t.l2s.(q) ~line:l2_line;
+            let lo = l2_line lsl t.l2_shift in
+            Cache.clear_dirty_range t.l1s.(q) ~lo_addr:lo
+              ~hi_addr:(lo + t.cfg.Config.l2.Config.line_bytes - 1);
             Directory.add_sharer t.dir ~line:l2_line ~proc
           end
       | None ->

@@ -65,6 +65,13 @@ val migrate_bytes : t -> lo:int -> hi:int -> node:int -> int
 (** Re-home all pages overlapping the range; returns the number of pages
     moved (the runtime charges redistribution cost per page). *)
 
+val migrate_page : t -> page:int -> node:int -> unit
+(** Re-home one page. Migration allocates a fresh physical frame, so this
+    also shoots the page down in every processor's TLB and invalidates the
+    per-processor one-entry translation memos — bypassing it (calling
+    [Pagetable.migrate] directly) leaves stale translations that the
+    {!audit} translation-memo check flags. *)
+
 val page_of_addr : t -> int -> int
 val home_of_addr : t -> int -> int option
 

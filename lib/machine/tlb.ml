@@ -74,6 +74,22 @@ let flush t =
   t.used <- 0;
   t.last <- -1
 
+let invalidate t ~page =
+  let slot = ref (-1) in
+  (let i = ref 0 in
+   while !slot < 0 && !i < t.used do
+     if t.pages.(!i) = page then slot := !i;
+     incr i
+   done);
+  if !slot >= 0 then begin
+    (* keep the resident entries compacted: move the tail entry down *)
+    let last = t.used - 1 in
+    t.pages.(!slot) <- t.pages.(last);
+    t.stamps.(!slot) <- t.stamps.(last);
+    t.used <- last;
+    t.last <- -1
+  end
+
 let entries t = t.entries
 let resident t = t.used
 

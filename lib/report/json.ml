@@ -28,10 +28,10 @@ let rec emit b = function
   | Bool v -> Buffer.add_string b (if v then "true" else "false")
   | Int n -> Buffer.add_string b (string_of_int n)
   | Float x ->
-      (* JSON has no NaN/infinity literals *)
-      if Float.is_nan x then Buffer.add_string b "null"
-      else if x = infinity then Buffer.add_string b "1e999"
-      else if x = neg_infinity then Buffer.add_string b "-1e999"
+      (* JSON has no NaN/infinity literals; 1e999 is nonstandard and strict
+         parsers reject it, so all three non-finite values become null *)
+      if Float.is_nan x || x = infinity || x = neg_infinity then
+        Buffer.add_string b "null"
       else Buffer.add_string b (Printf.sprintf "%.12g" x)
   | Str s ->
       Buffer.add_char b '"';

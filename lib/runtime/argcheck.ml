@@ -14,9 +14,19 @@ let register t ~addr info =
 
 let unregister t ~addr =
   match Hashtbl.find_opt t addr with
-  | None | Some [] -> ()
-  | Some [ _ ] -> Hashtbl.remove t addr
-  | Some (_ :: rest) -> Hashtbl.replace t addr rest
+  | None | Some [] ->
+      Error
+        (Printf.sprintf
+           "runtime error: argument-check underflow: return unregisters \
+            address %d which was never registered (unbalanced \
+            register/unregister in the call protocol)"
+           addr)
+  | Some [ _ ] ->
+      Hashtbl.remove t addr;
+      Ok ()
+  | Some (_ :: rest) ->
+      Hashtbl.replace t addr rest;
+      Ok ()
 
 let lookup t ~addr =
   match Hashtbl.find_opt t addr with

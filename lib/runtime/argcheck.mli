@@ -28,8 +28,11 @@ val create : unit -> t
 val register : t -> addr:int -> info -> unit
 (** Call-site half: record the actual argument keyed by its address. *)
 
-val unregister : t -> addr:int -> unit
-(** On return from the call. Unbalanced unregisters are ignored. *)
+val unregister : t -> addr:int -> (unit, string) result
+(** On return from the call. Unregistering an address with no live
+    registration is an [Error]: it means the call protocol is unbalanced
+    (a pop without a push), which would silently disable the §6 checks for
+    every enclosing call — the caller must surface it. *)
 
 val lookup : t -> addr:int -> info option
 

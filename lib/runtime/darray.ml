@@ -249,7 +249,9 @@ let redistribute t heap mem ~kinds ?onto ~nprocs () =
             match Pagetable.home_opt pt ~page:pg with
             | Some cur when cur = node -> ()
             | _ ->
-                Pagetable.migrate pt ~page:pg ~node;
+                (* migration allocates a fresh frame — go through Memsys so
+                   every TLB and translation memo drops the stale mapping *)
+                Memsys.migrate_page mem ~page:pg ~node;
                 incr moved)
           homes;
         t.layout <- Some layout;

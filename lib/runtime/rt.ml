@@ -13,6 +13,7 @@ type t = {
   mutable redist_retries : int;
   mutable redist_fallbacks : int;
   job_procs : int;
+  mutable barriers : int;
   mutable on_event :
     (name:string -> detail:string -> proc:int -> now:int -> unit) option;
 }
@@ -40,6 +41,7 @@ let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
     redist_retries = 0;
     redist_fallbacks = 0;
     job_procs;
+    barriers = 0;
     on_event = None;
   }
 
@@ -47,6 +49,17 @@ let note_event t ~name ~detail ~proc ~now =
   match t.on_event with
   | None -> ()
   | Some f -> f ~name ~detail ~proc ~now
+
+let note_barrier t ~proc ~now =
+  t.barriers <- t.barriers + 1;
+  (* a dropped note models the missing-synchronization bug: the arrival is
+     never published, so observers (the sanitizer) see the processors on
+     either side of the barrier as unordered *)
+  if
+    not
+      (Ddsm_check.Fault.barrier_dropped (Memsys.fault t.mem)
+         ~barrier:t.barriers)
+  then note_event t ~name:"barrier" ~detail:"" ~proc ~now
 
 let nprocs t = t.job_procs
 let page_words t = (Memsys.config t.mem).Config.page_bytes / Heap.word_bytes

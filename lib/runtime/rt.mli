@@ -31,6 +31,9 @@ type t = {
   job_procs : int;
       (** processors this job runs on (<= machine size): the paper runs
           P-processor jobs on a fixed 128-processor Origin-2000 *)
+  mutable barriers : int;
+      (** barrier notes made so far (feeds the fault plan's drop-barrier
+          schedule) *)
   mutable on_event :
     (name:string -> detail:string -> proc:int -> now:int -> unit) option;
       (** observability hook: runtime-level events (barriers,
@@ -54,6 +57,13 @@ val note_event :
   t -> name:string -> detail:string -> proc:int -> now:int -> unit
 (** Announce a runtime event to the installed [on_event] hook (no-op when
     none is installed). *)
+
+val note_barrier : t -> proc:int -> now:int -> unit
+(** Announce processor [proc]'s arrival at a barrier as a ["barrier"] event.
+    If the fault plan drops this note ({!Ddsm_check.Fault.barrier_dropped},
+    counted machine-wide, 1-based) the arrival is never published — the
+    seeded missing-synchronization bug the sanitizer must catch. Timing is
+    unaffected either way. *)
 
 val page_words : t -> int
 

@@ -1,0 +1,102 @@
+(** Dynamic happens-before sanitizer: a deterministic FastTrack-style
+    vector-clock race detector plus a cache-line/page false-sharing
+    classifier, driven by the machine's access probe
+    ({!Ddsm_machine.Memsys.set_probe}) and the runtime's event hook.
+
+    Happens-before edges come from the engine's structural events:
+    - fork of a parallel region orders the master's preceding accesses
+      before every worker ({!on_fork});
+    - join orders every worker's accesses before the master's subsequent
+      ones ({!on_join});
+    - a barrier (or an in-region redistribution) orders each arriving
+      processor's preceding accesses before every other arriver's
+      subsequent ones ({!on_barrier}).
+
+    Two conflicting accesses (same word, two processors, at least one
+    write) with neither ordered before the other are a **data race**.
+    Conflicting unordered accesses to *distinct* words sharing an L2 line
+    (or distinct lines sharing a page) are not races — the program's
+    values are well-defined — but they are the paper's §1 layout problem:
+    the line (page) ping-pongs between caches (nodes). These are reported
+    separately as **false sharing** so "my program is wrong" and "my
+    layout is slow" stay distinct diagnoses.
+
+    Determinism: the detector consumes the simulator's deterministic
+    access stream and keeps its own phase alignment (accesses raced ahead
+    of an incomplete barrier are buffered per processor and replayed when
+    the barrier completes), so a given program + configuration always
+    yields the same report. The disabled path costs nothing: no probe is
+    installed unless a sanitizer is attached. *)
+
+type kind =
+  | Race  (** unordered conflicting accesses to one word *)
+  | Line_sharing
+      (** unordered conflicting accesses to distinct words of one L2 line *)
+  | Page_sharing
+      (** unordered conflicting accesses to distinct lines of one page *)
+
+val kind_name : kind -> string
+
+type report = {
+  rep_kind : kind;
+  rep_addr : int;  (** byte address of the access that completed the pair *)
+  rep_array : string;  (** owning array, or ["(unattributed)"] *)
+  rep_first_proc : int;
+  rep_first_write : bool;
+  rep_first_region : string;  (** [routine:line] label of the earlier access *)
+  rep_second_proc : int;
+  rep_second_write : bool;
+  rep_second_region : string;
+}
+
+type t
+
+val create : nprocs:int -> line_bytes:int -> page_bytes:int -> unit -> t
+(** [nprocs] is the job's processor count (the width of every parallel
+    region); [line_bytes]/[page_bytes] give the L2-line and page geometry
+    used to classify false sharing (both powers of two). *)
+
+val register_array : t -> name:string -> word_ranges:(int * int) list -> unit
+(** Add an array's owned word ranges (inclusive [(lo, hi)] word addresses)
+    so reports can name the array a conflict landed on. *)
+
+val on_access : t -> region:string -> Ddsm_machine.Memsys.access_event -> unit
+(** Feed one memory access, tagged with the parallel region executing it.
+    Accesses by a processor that has passed a not-yet-complete barrier are
+    buffered and replayed at the barrier's completion (or at region join,
+    with stale clocks, if the barrier never completes — which is exactly
+    how a dropped barrier is detected). *)
+
+val on_fork : t -> region:string -> nprocs:int -> unit
+(** A depth-0 parallel region forks [nprocs] workers. *)
+
+val on_join : t -> unit
+(** The current parallel region joined. Any barrier generation that never
+    completed machine-wide is closed over the processors that did arrive
+    (latecomers' accesses stay unordered), remaining buffered accesses are
+    replayed, and the master's clock absorbs every worker's. *)
+
+val on_barrier : t -> proc:int -> unit
+(** Processor [proc] passed a barrier (or an in-region redistribution).
+    Ignored outside a parallel region — serial code is ordered by program
+    order already. *)
+
+val races : t -> report list
+(** Data races observed so far, in detection order. *)
+
+val false_sharing : t -> report list
+(** Line/page false-sharing pairs observed so far, in detection order.
+    Deduplicated per (kind, array, region pair, access kinds). *)
+
+val dropped : t -> int
+(** Reports suppressed by the per-run cap (the first
+    {!val-reports_cap} survive). *)
+
+val reports_cap : int
+
+val report_json : t -> Ddsm_report.Json.t
+(** Machine-readable report: counts plus one object per surviving race and
+    false-sharing pair. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable summary: every race, then the false-sharing pairs. *)

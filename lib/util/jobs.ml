@@ -16,7 +16,7 @@ let default_jobs () =
           invalid_arg
             (Printf.sprintf "DDSM_JOBS=%S: expected a positive integer" s))
 
-type 'b slot = Pending | Done of 'b | Raised of exn
+type 'b slot = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
 
 let map ?(jobs = 1) f xs =
   if jobs < 1 then invalid_arg "Jobs.map: jobs < 1";
@@ -33,25 +33,37 @@ let map ?(jobs = 1) f xs =
           (results.(i) <-
             (match f inputs.(i) with
             | y -> Done y
-            | exception e -> Raised e));
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
           loop ()
         end
       in
       loop ()
     in
-    let spawned =
-      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
+    let spawned = Array.make (min jobs n - 1) None in
+    (* if a spawn itself fails (domain limit), join whatever started —
+       those workers drain every job — before re-raising *)
+    (try
+       for i = 0 to Array.length spawned - 1 do
+         spawned.(i) <- Some (Domain.spawn worker)
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       worker ();
+       Array.iter (Option.iter Domain.join) spawned;
+       Printexc.raise_with_backtrace e bt);
     worker ();
-    Array.iter Domain.join spawned;
-    (* deterministic reduction: deliver results — and the first failure —
-       in job order, regardless of which domain ran what when *)
+    Array.iter (Option.iter Domain.join) spawned;
+    (* deterministic reduction: deliver results — and the lowest-index
+       failure, with its own backtrace — in job order, regardless of which
+       domain ran what when *)
+    Array.iter
+      (function
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Done _ | Pending -> ())
+      results;
     Array.to_list
       (Array.map
-         (function
-           | Done y -> y
-           | Raised e -> raise e
-           | Pending -> assert false)
+         (function Done y -> y | Raised _ | Pending -> assert false)
          results)
   end
 

@@ -14,6 +14,11 @@ val default_jobs : unit -> int
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs] domains
     (the calling domain included). [jobs <= 1] runs sequentially with no
-    domain spawned. [f] must not touch shared mutable state. *)
+    domain spawned. [f] must not touch shared mutable state.
+
+    Per-job outcomes (value or exception) are captured independently; after
+    every domain joins, the lowest-index failure is re-raised with its
+    original backtrace — never whichever failure a [Domain.join] happened
+    to observe first. *)
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

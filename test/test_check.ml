@@ -25,7 +25,7 @@ let test_fault_spec_roundtrip () =
       ~slow_nodes:[ (0, 80); (2, 30) ]
       ~hot_dirs:[ (1, 40) ]
       ~slow_links:[ ((0, 3), 25) ]
-      ~tlb_flush_period:512 ~redist_fail:2 ~lose_wakeup:9 ()
+      ~tlb_flush_period:512 ~redist_fail:2 ~lose_wakeup:9 ~drop_barrier:3 ()
   in
   (match Fault.of_spec (Fault.to_spec f) with
   | Error e -> Alcotest.failf "roundtrip: %s" e
@@ -45,6 +45,7 @@ let test_fault_random_deterministic () =
   and b = Fault.random ~seed:42 ~nnodes:4 in
   check_bool "same seed, same plan" true (a = b);
   check_int "no chaos from random" 0 a.Fault.lose_wakeup;
+  check_int "random never drops barriers" 0 a.Fault.drop_barrier;
   (* across many seeds, at least two distinct plans must appear *)
   let distinct = Hashtbl.create 16 in
   for s = 0 to 19 do
@@ -73,6 +74,19 @@ let test_fault_queries () =
   let n = Fault.none in
   check_bool "none never flushes" false (Fault.tlb_flush_due n ~accesses:64);
   check_bool "none never fails" false (Fault.redist_attempt_fails n ~attempt:0)
+
+let test_fault_drop_barrier () =
+  let f = Fault.make ~drop_barrier:2 () in
+  check_bool "2nd barrier dropped" true (Fault.barrier_dropped f ~barrier:2);
+  check_bool "1st barrier kept" false (Fault.barrier_dropped f ~barrier:1);
+  check_bool "3rd barrier kept" false (Fault.barrier_dropped f ~barrier:3);
+  check_bool "none never drops" false
+    (Fault.barrier_dropped Fault.none ~barrier:1);
+  (match Fault.of_spec "drop-barrier=5" with
+  | Ok f' -> check_int "spec parses" 5 f'.Fault.drop_barrier
+  | Error e -> Alcotest.fail e);
+  check_bool "negative rejected" true
+    (Result.is_error (Fault.of_spec "drop-barrier=-1"))
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler heap ordering *)
@@ -203,6 +217,7 @@ let () =
           Alcotest.test_case "random deterministic" `Quick
             test_fault_random_deterministic;
           Alcotest.test_case "query semantics" `Quick test_fault_queries;
+          Alcotest.test_case "drop-barrier" `Quick test_fault_drop_barrier;
         ] );
       ( "sched",
         [ Alcotest.test_case "heapq FIFO ties" `Quick test_heapq_fifo_ties ] );

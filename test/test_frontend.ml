@@ -275,6 +275,47 @@ let test_parse_errors () =
   ignore (parse_err "      program p\n      real*4 x\n      end\n");
   ignore (parse_err "      program p\nc$doacross bogus(i)\n      do i=1,2\n      enddo\n      end\n")
 
+let str_contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_parse_cyclic_chunk_bounds () =
+  let mk k =
+    Printf.sprintf
+      "      program p\n      real*8 a(100)\nc$distribute a(cyclic(%s))\n      end\n"
+      k
+  in
+  let e0 = parse_err (mk "0") in
+  check_bool "cyclic(0) names the bad chunk" true
+    (str_contains e0 "cyclic(0): chunk size must be >= 1");
+  let en = parse_err (mk "-1") in
+  check_bool "cyclic(-1) names the bad chunk" true
+    (str_contains en "cyclic(-1): chunk size must be >= 1");
+  (* sanity: positive chunks still parse *)
+  ignore (parse_ok (mk "3"))
+
+let test_parse_barrier_directive () =
+  let src =
+    "      program p\n      integer i\n      real*8 a(8)\nc$distribute a(block)\nc$doacross local(i)\n      do i = 1, 8\n        a(i) = i\nc$barrier\n        a(i) = a(i) + 1\n      enddo\n      end\n"
+  in
+  let f = parse_ok src in
+  let r = List.hd f.Decl.routines in
+  let rec count ss =
+    List.fold_left
+      (fun acc s ->
+        match s.Stmt.s with
+        | Stmt.Barrier -> acc + 1
+        | Stmt.Do d -> acc + count d.Stmt.body
+        | Stmt.Doacross da -> acc + count da.Stmt.loop.Stmt.body
+        | Stmt.If (_, a, b) -> acc + count a + count b
+        | _ -> acc)
+      0 ss
+  in
+  check_int "one barrier inside the parallel loop" 1 (count r.Decl.rbody)
+
 let test_roundtrip_pp () =
   (* the pretty-printer should at least produce something for each construct *)
   let f = parse_ok transpose_src in
@@ -305,6 +346,10 @@ let () =
           Alcotest.test_case "misc statements" `Quick test_parse_misc;
           Alcotest.test_case "equivalence & onto" `Quick test_parse_equivalence_onto;
           Alcotest.test_case "errors are located" `Quick test_parse_errors;
+          Alcotest.test_case "cyclic chunk bounds" `Quick
+            test_parse_cyclic_chunk_bounds;
+          Alcotest.test_case "barrier directive" `Quick
+            test_parse_barrier_directive;
           Alcotest.test_case "pretty printing" `Quick test_roundtrip_pp;
         ] );
     ]

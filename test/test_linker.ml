@@ -435,6 +435,24 @@ c$distribute_reshape v(block)
   link_err ~expect:"declared"
     [ obj "a.pf" a; obj "b.pf" b_bad; obj "m.pf" m ]
 
+let test_reshaped_common_vs_plain_declaration () =
+  (* the same common array reshaped in one file but declared plain in
+     another: the reshaped member has no counterpart on the plain side,
+     which §6 must reject rather than silently splitting the storage *)
+  let a = common_decl "1" "block" in
+  let b_plain =
+    {|
+      subroutine user2
+      real*8 v(100)
+      common /shared/ v
+      v(2) = 2.0
+      end
+|}
+  in
+  let m = "      program p\n      call user1\n      call user2\n      end\n" in
+  link_err ~expect:"no counterpart"
+    [ obj "a.pf" a; obj "b.pf" b_plain; obj "m.pf" m ]
+
 let test_plain_common_mismatch_tolerated () =
   (* §6: "common blocks without reshaped arrays are not affected" *)
   let a =
@@ -490,5 +508,7 @@ let () =
           Alcotest.test_case "reshaped common consistency" `Quick test_common_consistency;
           Alcotest.test_case "reshaped common shape" `Quick test_common_shape_mismatch;
           Alcotest.test_case "plain commons tolerated" `Quick test_plain_common_mismatch_tolerated;
+          Alcotest.test_case "reshaped vs plain common" `Quick
+            test_reshaped_common_vs_plain_declaration;
         ] );
     ]

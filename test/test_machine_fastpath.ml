@@ -263,6 +263,30 @@ let test_jobs_first_failure () =
             3 x)
     [ 1; 4 ]
 
+let test_jobs_lowest_index_under_timing_skew () =
+  (* a high-index job fails instantly while a lower-index one fails only
+     after burning time: whichever Domain.join observes an exception
+     first, the failure delivered must still be the lowest-index one,
+     run after run *)
+  let xs = List.init 16 (fun i -> i) in
+  let f x =
+    if x = 14 then raise (Boom 14)
+    else if x = 2 then begin
+      let s = ref 0 in
+      for i = 1 to 200_000 do
+        s := !s + i
+      done;
+      ignore !s;
+      raise (Boom 2)
+    end
+    else x
+  in
+  for _ = 1 to 25 do
+    match Jobs.map ~jobs:4 f xs with
+    | _ -> Alcotest.fail "expected a failure"
+    | exception Boom x -> Alcotest.(check int) "lowest index wins" 2 x
+  done
+
 let test_jobs_empty_and_single () =
   Alcotest.(check (list int)) "empty" [] (Jobs.map ~jobs:4 (fun x -> x) []);
   Alcotest.(check (list int)) "single" [ 9 ] (Jobs.map ~jobs:4 (fun x -> x * 9) [ 1 ])
@@ -283,6 +307,8 @@ let () =
           Alcotest.test_case "mapi indices" `Quick test_jobs_mapi;
           Alcotest.test_case "first failure re-raised" `Quick
             test_jobs_first_failure;
+          Alcotest.test_case "lowest index wins under skew" `Quick
+            test_jobs_lowest_index_under_timing_skew;
           Alcotest.test_case "empty and single" `Quick
             test_jobs_empty_and_single;
         ] );

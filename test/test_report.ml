@@ -364,6 +364,36 @@ module Jparse = struct
     v
 end
 
+let test_json_nonfinite_roundtrip () =
+  (* JSON has no literal for inf/-inf/nan: all three must emit [null],
+     and the result must still parse. *)
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Float infinity);
+        ("b", Json.Float neg_infinity);
+        ("c", Json.Float nan);
+        ("d", Json.Float 3.5);
+        ("e", Json.List [ Json.Float neg_infinity; Json.Float 1.0 ]);
+      ]
+  in
+  let rendered = Json.to_string v in
+  match Jparse.parse rendered with
+  | exception Jparse.Bad m -> Alcotest.failf "emitted JSON malformed: %s" m
+  | Jparse.Obj f ->
+      let is_null k = List.assoc_opt k f = Some Jparse.Null in
+      check_bool "infinity emits null" true (is_null "a");
+      check_bool "neg_infinity emits null" true (is_null "b");
+      check_bool "nan emits null" true (is_null "c");
+      (match List.assoc_opt "d" f with
+      | Some (Jparse.Num x) ->
+          Alcotest.(check (float 1e-12)) "finite floats survive" 3.5 x
+      | _ -> Alcotest.fail "finite float mangled");
+      (match List.assoc_opt "e" f with
+      | Some (Jparse.Arr [ Jparse.Null; Jparse.Num _ ]) -> ()
+      | _ -> Alcotest.fail "nested non-finite float not nulled")
+  | _ -> Alcotest.fail "top level not an object"
+
 let test_trace_roundtrip () =
   let profile = Ddsm.Profile.create () in
   (match Ddsm.run_source ~nprocs:4 ~profile twoarr with
@@ -525,6 +555,8 @@ let () =
             test_profile_end_to_end;
           Alcotest.test_case "chrome trace roundtrip" `Quick
             test_trace_roundtrip;
+          Alcotest.test_case "json non-finite floats" `Quick
+            test_json_nonfinite_roundtrip;
         ] );
       ( "core",
         [

@@ -8,6 +8,13 @@ open Ddsm_runtime
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+let astr_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
 let tiny ?(nprocs = 4) () : Config.t =
   {
     nprocs;
@@ -296,6 +303,68 @@ let test_redistribute_rejects_reshaped () =
   check_bool "unknown rejected" true
     (Result.is_error (Rt.redistribute rt ~name:"nope" ~kinds:[| Kind.Cyclic |] ()))
 
+(* regression for the redistribution shootdown: migration gives every
+   remapped page a fresh frame, so stale per-proc TLB entries and
+   one-entry translation memos must be invalidated.  Random
+   access/redistribute/access interleavings must leave nothing the
+   machine audit (which cross-checks TLBs and memos against the page
+   table) can object to. *)
+let prop_redistribute_shootdown =
+  QCheck.Test.make ~count:50 ~name:"redistribute invalidates TLBs and memos"
+    QCheck.(
+      make
+        ~print:(fun (n, k1, k2, seed) ->
+          Printf.sprintf "n=%d %s->%s seed=%d" n (Kind.to_string k1)
+            (Kind.to_string k2) seed)
+        Gen.(
+          let* n = int_range 8 64 in
+          let* k1 =
+            oneofl [ Kind.Block; Kind.Cyclic; Kind.Cyclic_k 2 ]
+          in
+          let* k2 =
+            oneofl [ Kind.Block; Kind.Cyclic; Kind.Cyclic_k 3 ]
+          in
+          let* seed = int_range 0 9999 in
+          return (n, k1, k2, seed)))
+    (fun (n, k1, k2, seed) ->
+      let rt = mk () in
+      let a =
+        Rt.declare_regular rt ~name:"A" ~elem:Darray.Real ~extents:[| n |]
+          ~kinds:[| k1 |] ()
+      in
+      let words =
+        Array.of_list
+          (List.concat_map
+             (fun (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i))
+             (Darray.word_ranges a))
+      in
+      let rng = Random.State.make [| seed |] in
+      let now = ref 0 in
+      let touch () =
+        let w = words.(Random.State.int rng (Array.length words)) in
+        let proc = Random.State.int rng 4 in
+        let write = Random.State.bool rng in
+        now :=
+          !now
+          + Memsys.access rt.Rt.mem ~proc ~addr:(Heap.byte_of_word w) ~write
+              ~now:!now
+      in
+      for _ = 1 to 32 do touch () done;
+      (match Rt.redistribute rt ~name:"A" ~kinds:[| k2 |] () with
+      | Ok _ -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      for _ = 1 to 32 do touch () done;
+      match Memsys.audit rt.Rt.mem @ Rt.audit rt with
+      | [] -> true
+      | vs ->
+          QCheck.Test.fail_reportf "audit: %s"
+            (String.concat "; "
+               (List.map
+                  (fun v ->
+                    v.Ddsm_check.Audit.invariant ^ ": "
+                    ^ v.Ddsm_check.Audit.detail)
+                  vs)))
+
 (* ------------------------------------------------------------------ *)
 (* Argcheck *)
 
@@ -331,7 +400,8 @@ let test_argcheck_portion () =
   check_bool "X(6) rejected" true
     (Result.is_error
        (Argcheck.check_entry t ~addr:500 ~name:"X" ~formal_extents:[| 6 |] ()));
-  Argcheck.unregister t ~addr:500;
+  check_bool "balanced unregister ok" true
+    (Result.is_ok (Argcheck.unregister t ~addr:500));
   check_bool "after return, no check" true
     (Result.is_ok (Argcheck.check_entry t ~addr:500 ~name:"X" ~formal_extents:[| 99 |] ()))
 
@@ -342,11 +412,16 @@ let test_argcheck_stacking () =
   check_int "two entries" 2 (Argcheck.depth t);
   check_bool "innermost wins" true
     (Result.is_error (Argcheck.check_entry t ~addr:7 ~name:"X" ~formal_extents:[| 4 |] ()));
-  Argcheck.unregister t ~addr:7;
+  check_bool "inner pop ok" true (Result.is_ok (Argcheck.unregister t ~addr:7));
   check_bool "outer visible again" true
     (Result.is_ok (Argcheck.check_entry t ~addr:7 ~name:"X" ~formal_extents:[| 4 |] ()));
-  Argcheck.unregister t ~addr:7;
-  Argcheck.unregister t ~addr:7 (* unbalanced: ignored *);
+  check_bool "outer pop ok" true (Result.is_ok (Argcheck.unregister t ~addr:7));
+  (* unbalanced: the underflow must be reported, not swallowed *)
+  (match Argcheck.unregister t ~addr:7 with
+  | Ok () -> Alcotest.fail "unbalanced unregister must be an error"
+  | Error m ->
+      check_bool "underflow names the protocol" true
+        (astr_contains m "argument-check underflow"));
   check_int "empty" 0 (Argcheck.depth t)
 
 (* ------------------------------------------------------------------ *)
@@ -397,6 +472,7 @@ let () =
           Alcotest.test_case "moves pages" `Quick test_redistribute_moves_pages;
           Alcotest.test_case "rejects reshaped/plain/unknown" `Quick test_redistribute_rejects_reshaped;
         ] );
+      qsuite "redistribute.props" [ prop_redistribute_shootdown ];
       ( "argcheck",
         [
           Alcotest.test_case "whole array" `Quick test_argcheck_whole_array;

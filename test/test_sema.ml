@@ -365,6 +365,41 @@ let test_common_checks () =
   let ai = Option.get (Sema.find_array (List.hd envs) "v") in
   check_bool "common recorded" true (ai.Sema.ai_common = Some "blk")
 
+let test_affinity_negative_offset () =
+  (* only the coefficient p of the literal form p*i + q is sign-restricted
+     (§3.4); a negative constant offset q is fine *)
+  ignore
+    (analyse_ok
+       (wrap
+          {|
+      integer i
+      real*8 a(100)
+c$distribute a(block)
+c$doacross local(i) affinity(i) = data(a(i - 2))
+      do i = 3, 100
+        a(i-2) = 1.0
+      enddo
+|}))
+
+let test_reshaped_common_member () =
+  (* distribute_reshape on a common member is legal within one routine —
+     the cross-routine consistency check belongs to the linker — and both
+     the reshape and the block membership must land in the array info *)
+  let envs =
+    analyse_ok
+      (wrap
+         {|
+      real*8 v(100)
+      common /blk/ v
+c$distribute_reshape v(block)
+      v(1) = 1.0
+|})
+  in
+  let ai = Option.get (Sema.find_array (List.hd envs) "v") in
+  check_bool "reshape recorded" true
+    (match ai.Sema.ai_dist with Some d -> d.Decl.dreshape | None -> false);
+  check_bool "common recorded" true (ai.Sema.ai_common = Some "blk")
+
 let test_multiple_errors_reported () =
   match
     analyse (wrap "      x = 1\n      y = 2\n      z = 3\n")
@@ -391,6 +426,10 @@ let () =
           Alcotest.test_case "reshaped equivalence rejected" `Quick test_equivalence_reshape_error;
           Alcotest.test_case "redistribute legality" `Quick test_redistribute_legality;
           Alcotest.test_case "affinity legality" `Quick test_affinity_legality;
+          Alcotest.test_case "affinity negative offset" `Quick
+            test_affinity_negative_offset;
+          Alcotest.test_case "reshaped common member" `Quick
+            test_reshaped_common_member;
           Alcotest.test_case "nest perfection" `Quick test_nest_perfect;
           Alcotest.test_case "affinity constant-dim restriction" `Quick
             test_affinity_unmatched_dim_const;
