@@ -34,16 +34,23 @@ let flags_term =
     $ Arg.(value & flag & info [ "no-interchange" ] ~doc:"Disable §7.1.1 interchange.")
     $ Arg.(value & flag & info [ "O0" ] ~doc:"Disable all reshaped-array optimizations."))
 
+(* Exit codes, matching pflrun: 1 = usage / IO (unreadable input,
+   unwritable output), 2 = the program was rejected (parse, semantic or
+   link error — always with a source location), 3 = internal error. *)
 let err_exit es =
   List.iter (fun e -> Printf.eprintf "%s\n" e) es;
   exit 1
+
+let reject_exit es =
+  List.iter (fun e -> Printf.eprintf "%s\n" e) es;
+  exit 2
 
 let compile_cmd =
   let run flags srcs output =
     List.iter
       (fun src ->
         match Ddsm.compile_path ~flags src with
-        | Error es -> err_exit es
+        | Error es -> reject_exit es
         | Ok obj ->
             let out =
               match output with
@@ -74,7 +81,7 @@ let link_objs paths output verbose =
       paths
   in
   match Ddsm_linker.Prelink.link objs with
-  | Error es -> err_exit es
+  | Error es -> reject_exit es
   | Ok l ->
       if verbose then begin
         Printf.printf "program unit: %s\n" l.Ddsm_linker.Prelink.main;
@@ -105,12 +112,12 @@ let build_cmd =
       List.map
         (fun src ->
           match Ddsm.compile_path ~flags src with
-          | Error es -> err_exit es
+          | Error es -> reject_exit es
           | Ok obj -> obj)
         srcs
     in
     match Ddsm_linker.Prelink.link objs with
-    | Error es -> err_exit es
+    | Error es -> reject_exit es
     | Ok l ->
         if verbose then
           List.iter
@@ -140,7 +147,7 @@ let check_cmd =
             List.iter (fun e -> Printf.eprintf "%s\n" e) es
         | Ok _ -> Printf.printf "%s: ok\n" src)
       srcs;
-    if not !ok then exit 1
+    if not !ok then exit 2
   in
   let srcs =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"SRC.pf" ~doc:"Sources.")
@@ -153,7 +160,7 @@ let check_cmd =
 let dump_cmd =
   let run flags src =
     match Ddsm.compile_path ~flags src with
-    | Error es -> err_exit es
+    | Error es -> reject_exit es
     | Ok obj ->
         List.iter
           (fun (u : Ddsm_linker.Objfile.unit_) ->
@@ -176,8 +183,12 @@ let () =
       (Cmd.eval ~catch:false
          (Cmd.group info [ compile_cmd; link_cmd; build_cmd; check_cmd; dump_cmd ]))
   with
-  (* OS errors from writing objects/images (unwritable -o path, full disk)
-     are user errors, reported on the documented exit-1 path rather than
-     escaping as uncaught exceptions *)
+  (* OS errors from reading sources or writing objects/images (unwritable
+     -o path, full disk) take the documented usage/IO exit-1 path.  A
+     [Failure] escaping the pipeline is a compiler bug, not a rejection:
+     report it as such on exit 3 so campaigns and CI never mistake it for
+     a diagnosed error. *)
   | Sys_error m -> err_exit [ m ]
-  | Failure m -> err_exit [ m ]
+  | Failure m ->
+      Printf.eprintf "pflc: internal error: %s\n" m;
+      exit 3

@@ -34,6 +34,15 @@ let internal ?phase m = bare ?phase (Internal m)
 let is_internal t =
   match t.reason with Internal _ | Audit_failure -> true | _ -> false
 
+let code t =
+  match t.reason with
+  | User _ -> "user"
+  | Internal _ -> "internal"
+  | Deadlock -> "deadlock"
+  | Cycle_budget _ -> "cycle-budget"
+  | Watchdog_stall _ -> "watchdog-stall"
+  | Audit_failure -> "audit"
+
 let headline t =
   match t.reason with
   | User m -> m

@@ -55,6 +55,12 @@ val is_internal : t -> bool
 (** True for [Internal _] and [Audit_failure] — failures of the simulator,
     not of the simulated program. *)
 
+val code : t -> string
+(** Stable machine-readable tag of the {!reason} constructor ("user",
+    "internal", "deadlock", "cycle-budget", "watchdog-stall", "audit") —
+    the key the fuzzing harness buckets failures by, so it must not change
+    across releases. *)
+
 val headline : t -> string
 (** One-line summary (the old string error, e.g.
     ["deadlock: program did not run to completion"]). *)

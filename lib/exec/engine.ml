@@ -517,3 +517,8 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
   | Eff.Cycle_limit limit ->
       Error (diagnose (Diag.Cycle_budget { limit }))
   | Heap.Out_of_memory m -> Error (Diag.user ~phase:!phase m)
+  (* elaborate/compile run outside the scheduler, so an Invalid_argument or
+     Failure raised there (e.g. by Grid.assign on a malformed onto clause
+     that slipped past sema) would otherwise escape as an uncaught
+     exception instead of a structured diagnosis *)
+  | Invalid_argument m | Failure m -> Error (Diag.internal ~phase:!phase m)

@@ -1,0 +1,375 @@
+open Ddsm_ir
+module K = Ddsm_dist.Kind
+
+type size = {
+  max_arrays : int;
+  max_stmts : int;
+  max_ext : int;
+  max_subs : int;
+  max_files : int;
+}
+
+let quick = { max_arrays = 3; max_stmts = 6; max_ext = 6; max_subs = 2; max_files = 2 }
+
+let of_level n =
+  let n = max 1 n in
+  {
+    max_arrays = max 1 (1 + (n / 4));
+    max_stmts = max 2 (1 + (n / 2));
+    max_ext = max 3 (3 + (n / 3));
+    max_subs = min 3 (n / 4);
+    max_files = min 3 (1 + (n / 8));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Distributions *)
+
+let gen_dist rng nd =
+  let kind () =
+    Rng.pick rng
+      [ K.Block; K.Block; K.Cyclic; K.Cyclic_k (Rng.range rng 2 3); K.Star ]
+  in
+  let kinds = List.init nd (fun _ -> kind ()) in
+  (* at least one distributed dimension, or sema rejects the directive *)
+  let kinds =
+    if List.for_all (fun k -> k = K.Star) kinds then
+      K.Block :: List.tl kinds
+    else kinds
+  in
+  let ndist = List.length (List.filter K.is_distributed kinds) in
+  let onto =
+    if Rng.chance rng ~pct:35 then
+      Some (List.init ndist (fun _ -> Rng.range rng 1 2))
+    else None
+  in
+  let reshape = Rng.chance rng ~pct:40 in
+  { Spec.kinds; onto; reshape }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+(* where an expression appears, which decides the safe subscript forms *)
+type ectx =
+  | Serial_loop of Spec.arr  (* body of a serial nest over this array *)
+  | Par_loop of Spec.arr  (* body of a doacross over this array *)
+  | Reduction of Spec.arr * Spec.arr  (* (written w, kk-indexed read ra) *)
+  | Scalar_ctx  (* serial straight-line code: constant subscripts only *)
+
+let scalar_pool = [ ("s0", Types.Treal); ("s1", Types.Treal); ("m0", Types.Tint); ("m1", Types.Tint) ]
+let acc_scalar = ("t0", Types.Treal)
+
+let quarters rng = float_of_int (Rng.range rng 1 12) *. 0.25
+
+let gen_read rng (arrays : Spec.arr list) ctx : Spec.exp option =
+  let sub_for rng (loop : Spec.arr) (r : Spec.arr) _d =
+    match Rng.int rng 4 with
+    | 0 | 1 -> Spec.SVar (Rng.int rng loop.Spec.nd)
+    | 2 -> Spec.SRev (Rng.int rng loop.Spec.nd)
+    | _ -> Spec.SConst (Rng.range rng 1 r.Spec.ext)
+  in
+  match ctx with
+  | Scalar_ctx ->
+      if arrays = [] then None
+      else
+        let r = Rng.pick rng arrays in
+        Some
+          (Spec.ERead
+             ( r.Spec.an,
+               List.init r.Spec.nd (fun _ ->
+                   Spec.SConst (Rng.range rng 1 r.Spec.ext)) ))
+  | Reduction (_, ra) ->
+      Some
+        (Spec.ERead
+           ( ra.Spec.an,
+             List.init ra.Spec.nd (fun _ ->
+                 if Rng.chance rng ~pct:70 then Spec.SIn "kk"
+                 else Spec.SConst (Rng.range rng 1 ra.Spec.ext)) ))
+  | Serial_loop w ->
+      (* any array large enough for the loop range, the loop array included *)
+      let cands =
+        List.filter (fun r -> r.Spec.ext >= w.Spec.ext || r.Spec.an = w.Spec.an) arrays
+      in
+      if cands = [] then None
+      else
+        let r = Rng.pick rng cands in
+        let subs =
+          if r.Spec.an = w.Spec.an && r.Spec.ext < w.Spec.ext then
+            (* only reachable when ext relations degenerate; stay safe *)
+            List.init r.Spec.nd (fun _ -> Spec.SConst 1)
+          else List.init r.Spec.nd (fun d -> sub_for rng w r d)
+        in
+        Some (Spec.ERead (r.Spec.an, subs))
+  | Par_loop w ->
+      (* reading the written array is only serial-equivalent at the own
+         index; other arrays may be read anywhere in bounds *)
+      if Rng.chance rng ~pct:30 then
+        Some
+          (Spec.ERead
+             (w.Spec.an, List.init w.Spec.nd (fun d -> Spec.SVar d)))
+      else
+        let cands =
+          List.filter
+            (fun r -> r.Spec.an <> w.Spec.an && r.Spec.ext >= w.Spec.ext)
+            arrays
+        in
+        if cands = [] then
+          Some
+            (Spec.ERead
+               (w.Spec.an, List.init w.Spec.nd (fun d -> Spec.SVar d)))
+        else
+          let r = Rng.pick rng cands in
+          Some (Spec.ERead (r.Spec.an, List.init r.Spec.nd (fun d -> sub_for rng w r d)))
+
+let rec gen_exp rng arrays ctx ~depth : Spec.exp =
+  let leaf () =
+    match Rng.int rng 6 with
+    | 0 -> Spec.ILit (Rng.range rng 0 9)
+    | 1 -> Spec.RLit (quarters rng)
+    | 2 -> (
+        match ctx with
+        | Par_loop w | Serial_loop w | Reduction (w, _) ->
+            Spec.EVar Spec.nestv.(Rng.int rng w.Spec.nd)
+        | Scalar_ctx -> Spec.EVar (fst (Rng.pick rng scalar_pool)))
+    | 3 -> Spec.EVar (fst (Rng.pick rng scalar_pool))
+    | _ -> (
+        match gen_read rng arrays ctx with
+        | Some e -> e
+        | None -> Spec.ILit (Rng.range rng 0 9))
+  in
+  if depth <= 0 || Rng.chance rng ~pct:35 then leaf ()
+  else
+    let sub () = gen_exp rng arrays ctx ~depth:(depth - 1) in
+    match Rng.int rng 8 with
+    | 0 | 1 -> Spec.EBin (Expr.Add, sub (), sub ())
+    | 2 -> Spec.EBin (Expr.Sub, sub (), sub ())
+    | 3 ->
+        (* keep multipliers small so repeated loops don't explode values *)
+        Spec.EBin (Expr.Mul, sub (), Spec.ILit (Rng.range rng 1 3))
+    | 4 ->
+        if Rng.bool rng then Spec.EBin (Expr.Div, sub (), Spec.ILit (Rng.range rng 1 7))
+        else Spec.EBin (Expr.Div, sub (), Spec.RLit 2.0)
+    | 5 -> (
+        match Rng.int rng 5 with
+        | 0 -> Spec.EIntrin ("abs", [ sub () ])
+        | 1 -> Spec.EIntrin ("mod", [ sub (); Spec.ILit (Rng.range rng 2 7) ])
+        | 2 -> Spec.EIntrin ("min", [ sub (); sub () ])
+        | 3 -> Spec.EIntrin ("max", [ sub (); sub () ])
+        | _ -> Spec.EIntrin ("sqrt", [ Spec.EIntrin ("abs", [ sub () ]) ]))
+    | 6 -> Spec.ENeg (sub ())
+    | _ -> Spec.EBin (Expr.Add, sub (), leaf ())
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let gen_par rng (w : Spec.arr) ~red =
+  let nest = w.Spec.nd > 1 && Rng.chance rng ~pct:60 in
+  let nvars = if nest then w.Spec.nd else 1 in
+  {
+    Spec.p_nest = nest;
+    p_sched =
+      (if Rng.chance rng ~pct:30 then Stmt.Interleave (Rng.range rng 2 3)
+       else Stmt.Simple);
+    p_aff = w.Spec.adist <> None && Rng.chance rng ~pct:40;
+    p_onto =
+      (if Rng.chance rng ~pct:15 then
+         Some (List.init nvars (fun _ -> Rng.range rng 1 2))
+       else None);
+    p_barrier = (not red) && Rng.chance rng ~pct:25;
+  }
+
+let compatible_whole subs (a : Spec.arr) =
+  List.filter
+    (fun (s : Spec.sub) ->
+      match s.Spec.skind with
+      | `Whole nd -> nd = a.Spec.nd && s.Spec.sty = a.Spec.aty
+      | `Elem _ -> false)
+    subs
+
+let elem_starts (a : Spec.arr) k =
+  (* call sites where the formal x(k) provably fits the denoted portion *)
+  match a.Spec.adist with
+  | Some { Spec.reshape = true; kinds = [ K.Cyclic_k k' ]; _ } when k' = k ->
+      let rec go at acc =
+        if at + k - 1 > a.Spec.ext then List.rev acc else go (at + k) (at :: acc)
+      in
+      go 1 []
+  | Some { Spec.reshape = true; _ } -> []
+  | _ ->
+      (* plain and regular storage is contiguous: any window fits *)
+      List.init (max 0 (a.Spec.ext - k + 1)) (fun i -> i + 1)
+
+let gen_call rng (subs : Spec.sub list) arrays : Spec.stmt option =
+  let pairs =
+    List.concat_map
+      (fun (a : Spec.arr) ->
+        List.map (fun s -> (s, a)) (compatible_whole subs a)
+        @ List.filter_map
+            (fun (s : Spec.sub) ->
+              match s.Spec.skind with
+              | `Elem k when a.Spec.nd = 1 && s.Spec.sty = a.Spec.aty -> (
+                  match elem_starts a k with [] -> None | _ -> Some (s, a))
+              | _ -> None)
+            subs)
+      arrays
+  in
+  if pairs = [] then None
+  else
+    let s, a = Rng.pick rng pairs in
+    let actual = gen_exp rng arrays Scalar_ctx ~depth:1 in
+    match s.Spec.skind with
+    | `Whole _ -> Some (Spec.SCallWhole (s.Spec.sname, a.Spec.an, actual))
+    | `Elem k ->
+        let at = Rng.pick rng (elem_starts a k) in
+        Some (Spec.SCallElem (s.Spec.sname, a.Spec.an, at, actual))
+
+let gen_stmt rng arrays subs : Spec.stmt =
+  let pick_arr () = Rng.pick rng arrays in
+  let serial_loop () =
+    let w = pick_arr () in
+    Spec.SLoop
+      { w = w.Spec.an; par = None; rhs = gen_exp rng arrays (Serial_loop w) ~depth:3; red = None }
+  in
+  match Rng.int rng 100 with
+  | n when n < 35 ->
+      let w = pick_arr () in
+      let red =
+        (* the inner kk-loop reads the whole read array on every outer
+           iteration, so it must not be the array being written: serial
+           iterations would observe earlier writes that parallel ones
+           don't.  Only arrays other than [w] are eligible. *)
+        if w.Spec.nd = 1 && Rng.chance rng ~pct:30 then
+          match
+            List.filter (fun (a : Spec.arr) -> a.Spec.an <> w.Spec.an) arrays
+          with
+          | [] -> None
+          | others -> Some (fst acc_scalar, (Rng.pick rng others).Spec.an)
+        else None
+      in
+      let ctx =
+        match red with
+        | Some (_, ra) -> Reduction (w, List.find (fun a -> a.Spec.an = ra) arrays)
+        | None -> Par_loop w
+      in
+      Spec.SLoop
+        {
+          w = w.Spec.an;
+          par = Some (gen_par rng w ~red:(red <> None));
+          rhs = gen_exp rng arrays ctx ~depth:3;
+          red;
+        }
+  | n when n < 50 -> serial_loop ()
+  | n when n < 60 ->
+      let v, _ = Rng.pick rng scalar_pool in
+      Spec.SAssignScal (v, gen_exp rng arrays Scalar_ctx ~depth:2)
+  | n when n < 70 ->
+      let c =
+        Spec.ERel
+          ( Rng.pick rng [ Expr.Lt; Expr.Le; Expr.Gt; Expr.Ne ],
+            gen_exp rng arrays Scalar_ctx ~depth:1,
+            gen_exp rng arrays Scalar_ctx ~depth:1 )
+      in
+      let branch () =
+        if Rng.bool rng then
+          [ Spec.SAssignScal (fst (Rng.pick rng scalar_pool), gen_exp rng arrays Scalar_ctx ~depth:2) ]
+        else [ serial_loop () ]
+      in
+      Spec.SIf (c, branch (), if Rng.bool rng then branch () else [])
+  | n when n < 80 -> (
+      match gen_call rng subs arrays with
+      | Some s -> s
+      | None -> serial_loop ())
+  | n when n < 88 -> (
+      let regular =
+        List.filter
+          (fun (a : Spec.arr) ->
+            match a.Spec.adist with
+            | Some { Spec.reshape = false; _ } -> true
+            | _ -> false)
+          arrays
+      in
+      match regular with
+      | [] -> serial_loop ()
+      | _ ->
+          let a = Rng.pick rng regular in
+          let d = gen_dist rng a.Spec.nd in
+          Spec.SRedist (a.Spec.an, d.Spec.kinds, d.Spec.onto))
+  | n when n < 93 -> Spec.SBarrier
+  | _ -> Spec.SPrintSum (pick_arr ()).Spec.an
+
+(* ------------------------------------------------------------------ *)
+
+let generate ?(size = quick) ~seed () =
+  let rng = Rng.create seed in
+  let narr = Rng.range rng 1 size.max_arrays in
+  let arrays =
+    List.init narr (fun ix ->
+        let nd = Rng.pick rng [ 1; 1; 1; 2; 2; 3 ] in
+        let ext = Rng.range rng 3 size.max_ext in
+        let aty = if Rng.chance rng ~pct:65 then Types.Treal else Types.Tint in
+        let adist = if Rng.chance rng ~pct:70 then Some (gen_dist rng nd) else None in
+        {
+          Spec.an = "a" ^ string_of_int ix;
+          ap = "n" ^ string_of_int ix;
+          aty;
+          nd;
+          ext;
+          adist;
+          acommon = None;
+        })
+  in
+  (* sometimes move a prefix of the arrays into a common block *)
+  let arrays =
+    if Rng.chance rng ~pct:30 then
+      List.mapi
+        (fun i (a : Spec.arr) ->
+          if i < Rng.range rng 1 2 then { a with Spec.acommon = Some "cb0" } else a)
+        arrays
+    else arrays
+  in
+  let nsubs = Rng.range rng 0 size.max_subs in
+  let subs =
+    List.init nsubs (fun i ->
+        let target = Rng.pick rng arrays in
+        let name = "sub" ^ string_of_int i in
+        let elem_ok =
+          target.Spec.nd = 1
+          &&
+          match target.Spec.adist with
+          | Some { Spec.reshape = true; kinds = [ K.Cyclic_k _ ]; _ } | None -> true
+          | Some { Spec.reshape = false; _ } -> true
+          | Some _ -> false
+        in
+        if elem_ok && Rng.chance rng ~pct:40 then
+          let k =
+            match target.Spec.adist with
+            | Some { Spec.reshape = true; kinds = [ K.Cyclic_k k ]; _ } -> k
+            | _ -> Rng.range rng 2 (min 3 target.Spec.ext)
+          in
+          { Spec.sname = name; sty = target.Spec.aty; skind = `Elem k }
+        else { Spec.sname = name; sty = target.Spec.aty; skind = `Whole target.Spec.nd })
+  in
+  let inits =
+    List.map
+      (fun (w : Spec.arr) ->
+        Spec.SLoop
+          {
+            w = w.Spec.an;
+            par = None;
+            rhs = gen_exp rng arrays (Serial_loop w) ~depth:2;
+            red = None;
+          })
+      arrays
+  in
+  let nstmts = Rng.range rng 2 size.max_stmts in
+  let stmts = List.init nstmts (fun _ -> gen_stmt rng arrays subs) in
+  let sums = List.map (fun (a : Spec.arr) -> Spec.SPrintSum a.Spec.an) arrays in
+  let has_common = List.exists (fun a -> a.Spec.acommon <> None) arrays in
+  {
+    Spec.arrays;
+    scalars = scalar_pool @ [ acc_scalar ];
+    subs;
+    body = inits @ stmts @ sums;
+    nfiles = Rng.range rng 1 size.max_files;
+    common_in_sub = has_common && subs <> [] && Rng.bool rng;
+    seed;
+  }

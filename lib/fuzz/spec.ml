@@ -1,0 +1,430 @@
+(* Typed specification of a random mini-Fortran program, and its renderer.
+
+   The generator builds values of [t]; rendering then emits well-formed .pf
+   source *by construction*: every array reference stays in bounds for the
+   loop ranges it appears under, every doacross writes only its own
+   iteration's elements of one array (so the program is serial-equivalent
+   and race-free), scalars assigned inside a parallel body are
+   defined-before-use locals, and distribution/onto/nest/affinity clauses
+   satisfy the sema legality rules.  The same value is what the shrinker
+   minimizes — shrinking transforms the spec, never the text. *)
+
+open Ddsm_ir
+module K = Ddsm_dist.Kind
+
+type dist = { kinds : K.t list; onto : int list option; reshape : bool }
+
+type arr = {
+  an : string;  (* array name, e.g. "a0" *)
+  ap : string;  (* its extent parameter, e.g. "n0" *)
+  aty : Types.ty;
+  nd : int;  (* 1..3 dimensions, all of extent [ext] *)
+  ext : int;
+  adist : dist option;
+  acommon : string option;  (* common block membership *)
+}
+
+(* Subscript of an array read appearing under the surrounding loop nest.
+   [SVar d] / [SRev d] use nest variable [d]; both are in [1, loop extent]
+   so any array at least as large as the loop array is safely indexed. *)
+type sidx =
+  | SVar of int
+  | SRev of int  (* loopext+1-v: exercises non-aligned affinity *)
+  | SConst of int
+  | SIn of string  (* an inner serial loop variable, e.g. the reduction's *)
+
+type exp =
+  | ILit of int
+  | RLit of float  (* generator only emits quarters, so %.10g round-trips *)
+  | EVar of string
+  | ERead of string * sidx list
+  | EBin of Expr.binop * exp * exp
+  | ERel of Expr.relop * exp * exp
+  | ENeg of exp
+  | EIntrin of string * exp list
+
+type par = {
+  p_nest : bool;  (* nest(...) over all dims (perfect nest) *)
+  p_sched : Stmt.sched;
+  p_aff : bool;  (* affinity(i) = data(w(i,1,..)) *)
+  p_onto : int list option;
+  p_barrier : bool;  (* c$barrier between two own-index writes *)
+}
+
+type stmt =
+  | SAssignScal of string * exp
+  | SLoop of {
+      w : string;  (* array written at its own index *)
+      par : par option;  (* None = serial do nest *)
+      rhs : exp;
+      red : (string * string) option;
+          (* (acc scalar, read array): acc = 0; inner kk-loop accumulates
+             rhs (indexed by [SIn "kk"]); then w(i) = acc.  1-D w only. *)
+    }
+  | SIf of exp * stmt list * stmt list
+  | SCallWhole of string * string * exp  (* sub, array, scalar actual *)
+  | SCallElem of string * string * int * exp  (* sub, array, start, scalar *)
+  | SRedist of string * K.t list * int list option
+  | SBarrier
+  | SPrintSum of string  (* serial checksum loop + print *)
+
+type sub = {
+  sname : string;
+  sty : Types.ty;  (* element type of the formal array *)
+  skind : [ `Whole of int  (* ndims *) | `Elem of int  (* fixed extent k *) ]
+}
+
+type t = {
+  arrays : arr list;
+  scalars : (string * Types.ty) list;  (* declared scalars of main *)
+  subs : sub list;
+  body : stmt list;
+  nfiles : int;
+  common_in_sub : bool;  (* first sub redeclares the common blocks *)
+  seed : int;  (* provenance *)
+}
+
+let arr t name = List.find (fun a -> a.an = name) t.arrays
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let nestv = [| "i"; "j"; "k" |]
+
+let render_real x =
+  let s = Printf.sprintf "%.10g" x in
+  if String.exists (fun c -> c = '.' || c = 'e') s then s else s ^ ".0"
+
+let opstr = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Div -> "/"
+  | Expr.Pow -> "**"
+
+let relstr = function
+  | Expr.Lt -> ".lt."
+  | Expr.Le -> ".le."
+  | Expr.Gt -> ".gt."
+  | Expr.Ge -> ".ge."
+  | Expr.Eq -> ".eq."
+  | Expr.Ne -> ".ne."
+
+(* [loopp] is the extent-parameter name of the surrounding loop nest *)
+let render_sidx ~loopp = function
+  | SVar d -> nestv.(d)
+  | SRev d -> Printf.sprintf "%s+1-%s" loopp nestv.(d)
+  | SConst c -> string_of_int c
+  | SIn v -> v
+
+let rec render_exp ~loopp e =
+  match e with
+  | ILit n -> if n < 0 then Printf.sprintf "(0-%d)" (-n) else string_of_int n
+  | RLit x -> render_real x
+  | EVar v -> v
+  | ERead (a, subs) ->
+      Printf.sprintf "%s(%s)" a
+        (String.concat "," (List.map (render_sidx ~loopp) subs))
+  | EBin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (render_exp ~loopp a) (opstr op)
+        (render_exp ~loopp b)
+  | ERel (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (render_exp ~loopp a) (relstr op)
+        (render_exp ~loopp b)
+  | ENeg a -> Printf.sprintf "(-%s)" (render_exp ~loopp a)
+  | EIntrin (n, args) ->
+      Printf.sprintf "%s(%s)" n
+        (String.concat ", " (List.map (render_exp ~loopp) args))
+
+let rec exp_arrays e =
+  match e with
+  | ILit _ | RLit _ | EVar _ -> []
+  | ERead (a, _) -> [ a ]
+  | EBin (_, a, b) | ERel (_, a, b) -> exp_arrays a @ exp_arrays b
+  | ENeg a -> exp_arrays a
+  | EIntrin (_, args) -> List.concat_map exp_arrays args
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let own_index nd = String.concat "," (Array.to_list (Array.sub nestv 0 nd))
+
+let render_dist_directive an (d : dist) =
+  let kinds = String.concat ", " (List.map K.to_string d.kinds) in
+  let onto =
+    match d.onto with
+    | None -> ""
+    | Some ws ->
+        Printf.sprintf " onto(%s)" (String.concat ", " (List.map string_of_int ws))
+  in
+  Printf.sprintf "c$%s %s(%s)%s"
+    (if d.reshape then "distribute_reshape" else "distribute")
+    an kinds onto
+
+let render_stmt t buf st =
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let rec go ind st =
+    let pad = String.make (6 + (2 * ind)) ' ' in
+    match st with
+    | SAssignScal (v, e) -> add "%s%s = %s" pad v (render_exp ~loopp:"" e)
+    | SIf (c, th, el) ->
+        add "%sif (%s) then" pad (render_exp ~loopp:"" c);
+        List.iter (go (ind + 1)) th;
+        if el <> [] then begin
+          add "%selse" pad;
+          List.iter (go (ind + 1)) el
+        end;
+        add "%sendif" pad
+    | SCallWhole (s, a, e) ->
+        let ar = arr t a in
+        add "%scall %s(%s, %s, %s)" pad s a ar.ap (render_exp ~loopp:"" e)
+    | SCallElem (s, a, at, e) ->
+        add "%scall %s(%s(%d), %s)" pad s a at (render_exp ~loopp:"" e)
+    | SRedist (a, kinds, onto) ->
+        let ks = String.concat ", " (List.map K.to_string kinds) in
+        let os =
+          match onto with
+          | None -> ""
+          | Some ws ->
+              Printf.sprintf " onto(%s)"
+                (String.concat ", " (List.map string_of_int ws))
+        in
+        add "c$redistribute %s(%s)%s" a ks os
+    | SBarrier -> add "c$barrier"
+    | SPrintSum a ->
+        let ar = arr t a in
+        add "%schk = 0.0" pad;
+        for d = 0 to ar.nd - 1 do
+          add "%sdo %s = 1, %s"
+            (String.make (6 + (2 * (ind + d))) ' ')
+            nestv.(d) ar.ap
+        done;
+        add "%schk = chk + %s(%s)"
+          (String.make (6 + (2 * (ind + ar.nd))) ' ')
+          a (own_index ar.nd);
+        for d = ar.nd - 1 downto 0 do
+          add "%senddo" (String.make (6 + (2 * (ind + d))) ' ')
+        done;
+        add "%sprint *, '%s:', chk" pad a
+    | SLoop { w; par; rhs; red } -> (
+        let ar = arr t w in
+        let loopp = ar.ap in
+        (match par with
+        | None -> ()
+        | Some p ->
+            let locals = Array.to_list (Array.sub nestv 0 ar.nd) in
+            let locals =
+              match red with
+              | Some (acc, _) -> locals @ [ "kk"; acc ]
+              | None -> locals
+            in
+            let reads =
+              dedup
+                (exp_arrays rhs
+                @ match red with Some (_, ra) -> [ ra ] | None -> [])
+            in
+            let shared =
+              match dedup (w :: reads) with
+              | [] -> ""
+              | xs -> Printf.sprintf ", shared(%s)" (String.concat ", " xs)
+            in
+            let nest =
+              if p.p_nest && ar.nd > 1 then
+                Printf.sprintf ", nest(%s)" (own_index ar.nd)
+              else ""
+            in
+            let sched =
+              match p.p_sched with
+              | Stmt.Simple -> ""
+              | Stmt.Interleave k -> Printf.sprintf ", schedtype(interleave(%d))" k
+            in
+            let onto =
+              match p.p_onto with
+              | None -> ""
+              | Some ws ->
+                  Printf.sprintf ", onto(%s)"
+                    (String.concat ", " (List.map string_of_int ws))
+            in
+            let aff =
+              if p.p_aff then
+                let subs =
+                  "i" :: List.init (ar.nd - 1) (fun _ -> "1") |> String.concat ","
+                in
+                Printf.sprintf ", affinity(i) = data(%s(%s))" w subs
+              else ""
+            in
+            add "c$doacross local(%s)%s%s%s%s%s"
+              (String.concat ", " locals)
+              shared nest sched onto aff);
+        for d = 0 to ar.nd - 1 do
+          add "%sdo %s = 1, %s"
+            (String.make (6 + (2 * (ind + d))) ' ')
+            nestv.(d) loopp
+        done;
+        let bpad = String.make (6 + (2 * (ind + ar.nd))) ' ' in
+        (match red with
+        | Some (acc, ra) ->
+            let racc = List.assoc acc t.scalars = Types.Treal in
+            let rap = (arr t ra).ap in
+            add "%s%s = %s" bpad acc (if racc then "0.0" else "0");
+            add "%sdo kk = 1, %s" bpad rap;
+            add "%s  %s = %s + %s" bpad acc acc (render_exp ~loopp rhs);
+            add "%senddo" bpad;
+            add "%s%s(%s) = %s" bpad w (own_index ar.nd) acc
+        | None -> (
+            add "%s%s(%s) = %s" bpad w (own_index ar.nd)
+              (render_exp ~loopp rhs);
+            match par with
+            | Some { p_barrier = true; _ } ->
+                add "c$barrier";
+                let self = Printf.sprintf "%s(%s)" w (own_index ar.nd) in
+                if ar.aty = Types.Treal then
+                  add "%s%s = (%s * 0.5) + 1.0" bpad self self
+                else add "%s%s = (%s * 2) + 1" bpad self self
+            | _ -> ()));
+        for d = ar.nd - 1 downto 0 do
+          add "%senddo" (String.make (6 + (2 * (ind + d))) ' ')
+        done)
+  in
+  go 0 st
+
+(* declarations shared between main and a common-redeclaring subroutine *)
+let render_common_decls t buf =
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let commons = List.filter (fun a -> a.acommon <> None) t.arrays in
+  let params = dedup (List.map (fun a -> a.ap) commons) in
+  if params <> [] then add "      integer %s" (String.concat ", " params);
+  List.iter
+    (fun a ->
+      List.iter
+        (fun p -> if p = a.ap then add "      parameter (%s = %d)" p a.ext)
+        params)
+    (dedup commons);
+  List.iter
+    (fun a ->
+      let dims =
+        String.concat "," (List.init a.nd (fun _ -> a.ap))
+      in
+      add "      %s %s(%s)"
+        (if a.aty = Types.Treal then "real*8" else "integer")
+        a.an dims)
+    commons;
+  let blocks = dedup (List.filter_map (fun a -> a.acommon) commons) in
+  List.iter
+    (fun blk ->
+      let members =
+        List.filter (fun a -> a.acommon = Some blk) commons
+        |> List.map (fun a -> a.an)
+      in
+      add "      common /%s/ %s" blk (String.concat ", " members))
+    blocks;
+  List.iter
+    (fun a ->
+      match a.adist with
+      | Some d -> add "%s" (render_dist_directive a.an d)
+      | None -> ())
+    commons
+
+let render_main t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "c pflfuzz seed=%d" t.seed;
+  add "      program main";
+  let locals = List.filter (fun a -> a.acommon = None) t.arrays in
+  let params = dedup (List.map (fun a -> a.ap) locals) in
+  let ints =
+    [ "i"; "j"; "k"; "kk" ] @ params
+    @ List.filter_map
+        (fun (n, ty) -> if ty = Types.Tint then Some n else None)
+        t.scalars
+  in
+  add "      integer %s" (String.concat ", " ints);
+  List.iter
+    (fun p ->
+      let a = List.find (fun a -> a.ap = p) locals in
+      add "      parameter (%s = %d)" p a.ext)
+    params;
+  let reals =
+    "chk"
+    :: List.filter_map
+         (fun (n, ty) -> if ty = Types.Treal then Some n else None)
+         t.scalars
+  in
+  let real_arrays =
+    List.filter_map
+      (fun a ->
+        if a.aty = Types.Treal then
+          Some
+            (Printf.sprintf "%s(%s)" a.an
+               (String.concat "," (List.init a.nd (fun _ -> a.ap))))
+        else None)
+      locals
+  in
+  add "      real*8 %s" (String.concat ", " (real_arrays @ reals));
+  let int_arrays =
+    List.filter_map
+      (fun a ->
+        if a.aty = Types.Tint then
+          Some
+            (Printf.sprintf "%s(%s)" a.an
+               (String.concat "," (List.init a.nd (fun _ -> a.ap))))
+        else None)
+      locals
+  in
+  if int_arrays <> [] then add "      integer %s" (String.concat ", " int_arrays);
+  render_common_decls t buf;
+  List.iter
+    (fun a ->
+      if a.acommon = None then
+        match a.adist with
+        | Some d -> add "%s" (render_dist_directive a.an d)
+        | None -> ())
+    locals;
+  List.iter (render_stmt t buf) t.body;
+  add "      end";
+  Buffer.contents buf
+
+let render_sub t (s : sub) ~with_commons =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let tystr = if s.sty = Types.Treal then "real*8" else "integer" in
+  (match s.skind with
+  | `Whole nd ->
+      add "      subroutine %s(x, n, s)" s.sname;
+      add "      integer n, %s" (String.concat ", " (List.init nd (fun d -> "q" ^ string_of_int d)));
+      add "      %s x(%s), s" tystr (String.concat "," (List.init nd (fun _ -> "n")));
+      if with_commons then render_common_decls t buf;
+      for d = 0 to nd - 1 do
+        add "%sdo q%d = 1, n" (String.make (6 + (2 * d)) ' ') d
+      done;
+      let idx = String.concat "," (List.init nd (fun d -> "q" ^ string_of_int d)) in
+      add "%sx(%s) = x(%s) + s" (String.make (6 + (2 * nd)) ' ') idx idx;
+      for d = nd - 1 downto 0 do
+        add "%senddo" (String.make (6 + (2 * d)) ' ')
+      done
+  | `Elem k ->
+      add "      subroutine %s(x, s)" s.sname;
+      add "      integer q0";
+      add "      %s x(%d), s" tystr k;
+      if with_commons then render_common_decls t buf;
+      add "      do q0 = 1, %d" k;
+      add "        x(q0) = x(q0) + s";
+      add "      enddo");
+  add "      return";
+  add "      end";
+  Buffer.contents buf
+
+let render (t : t) : (string * string) list =
+  let nfiles = max 1 t.nfiles in
+  let files = Array.make nfiles [] in
+  files.(0) <- [ render_main t ];
+  List.iteri
+    (fun i s ->
+      let fi = (i + 1) mod nfiles in
+      let with_commons = t.common_in_sub && i = 0 in
+      files.(fi) <- files.(fi) @ [ render_sub t s ~with_commons ])
+    t.subs;
+  Array.to_list files
+  |> List.mapi (fun i rs -> (Printf.sprintf "fz%d.pf" i, String.concat "\n" rs))
+  |> List.filter (fun (_, s) -> String.trim s <> "")

@@ -1,0 +1,35 @@
+type entry = {
+  bucket : string;
+  hash : string;
+  seed : int;
+  detail : string;
+  source : string;
+  count : int;
+}
+
+type t = { mutable entries : entry list; mutable total : int }
+
+let create () = { entries = []; total = 0 }
+
+let key ~bucket ~hash = bucket ^ "#" ^ hash
+
+let note t ~bucket ~seed ~detail ~source =
+  t.total <- t.total + 1;
+  let hash = Digest.to_hex (Digest.string source) in
+  let k = key ~bucket ~hash in
+  match
+    List.find_opt (fun e -> key ~bucket:e.bucket ~hash:e.hash = k) t.entries
+  with
+  | Some e ->
+      t.entries <-
+        List.map
+          (fun e' -> if e' == e then { e' with count = e'.count + 1 } else e')
+          t.entries;
+      false
+  | None ->
+      t.entries <-
+        t.entries @ [ { bucket; hash; seed; detail; source; count = 1 } ];
+      true
+
+let entries t = t.entries
+let total t = t.total

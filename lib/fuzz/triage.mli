@@ -1,0 +1,30 @@
+(** Failure triage: deduplicate campaign failures into root-cause buckets.
+
+    A bucket is the pair of the verdict's stable kind tag (the [Diag] code
+    for consistent runtime failures, the divergence kind otherwise) and the
+    digest of the {e minimized} program text — two seeds whose minimized
+    reproducers coincide are one root cause and are reported once. *)
+
+type entry = {
+  bucket : string;  (** verdict kind tag, e.g. ["diverged:values"] *)
+  hash : string;  (** hex digest of the minimized source *)
+  seed : int;  (** first seed that hit this bucket *)
+  detail : string;
+  source : string;  (** minimized single-file reproducer *)
+  count : int;  (** how many seeds landed in this bucket *)
+}
+
+type t
+
+val create : unit -> t
+
+val note :
+  t -> bucket:string -> seed:int -> detail:string -> source:string -> bool
+(** Record one failure; [true] iff this is a new root cause (first seed in
+    its bucket). *)
+
+val entries : t -> entry list
+(** All root causes, in first-seen order. *)
+
+val total : t -> int
+(** Total failures recorded (including duplicates). *)

@@ -179,6 +179,19 @@ let rec collect_calls acc ts =
 
 let calls_made ts = List.rev (collect_calls [] ts)
 
+let rec size ts =
+  List.fold_left
+    (fun acc t ->
+      acc + 1
+      +
+      match t.s with
+      | Do d -> size d.body
+      | If (_, th, el) -> size th + size el
+      | Doacross da -> size da.loop.body
+      | Par p -> size p.pbody
+      | _ -> 0)
+    0 ts
+
 let rec pp ppf t =
   match t.s with
   | Assign (LVar x, e) -> Format.fprintf ppf "@[<h>%s = %a@]" x Expr.pp e

@@ -77,5 +77,11 @@ val assigned_vars : t list -> string list
 
 val arrays_written : t list -> string list
 val calls_made : t list -> string list
+
+val size : t list -> int
+(** Total statement-node count, recursing into loop/branch bodies — the
+    progress metric the fuzzing shrinker minimizes. *)
+
+
 val pp : Format.formatter -> t -> unit
 val pp_body : Format.formatter -> t list -> unit

@@ -12,7 +12,25 @@ type linked = {
 
 let pp_shape shape = String.concat "x" (List.map string_of_int shape)
 
+(* where each routine was defined, so consistency errors carry a source
+   location like every frontend/sema rejection does *)
+let routine_locs (objs : Objfile.t list) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Objfile.t) ->
+      List.iter
+        (fun (u : Objfile.unit_) ->
+          Hashtbl.replace tbl u.Objfile.uname
+            u.Objfile.env.Sema.routine.Decl.rloc)
+        o.Objfile.units)
+    objs;
+  fun r ->
+    match Hashtbl.find_opt tbl r with
+    | Some loc -> Ddsm_ir.Loc.to_string loc ^ ": "
+    | None -> ""
+
 let check_commons (objs : Objfile.t list) =
+  let loc_of = routine_locs objs in
   let decls = Hashtbl.create 8 in
   List.iter
     (fun (o : Objfile.t) ->
@@ -58,18 +76,20 @@ let check_commons (objs : Objfile.t list) =
                       | None ->
                           errors :=
                             Printf.sprintf
-                              "common /%s/: reshaped array %s (offset %d) in \
-                               %s has no counterpart in %s"
-                              blk ma.Shadow.cm_name off a_name b_name
+                              "%scommon /%s/: reshaped array %s (offset %d) \
+                               in %s has no counterpart in %s"
+                              (loc_of a_name) blk ma.Shadow.cm_name off a_name
+                              b_name
                             :: !errors
                       | Some mb ->
                           if mb.Shadow.cm_shape <> ma.Shadow.cm_shape then
                             errors :=
                               Printf.sprintf
-                                "common /%s/: reshaped array %s declared %s \
+                                "%scommon /%s/: reshaped array %s declared %s \
                                  in %s but %s in %s"
-                                blk ma.Shadow.cm_name (pp_shape ma.Shadow.cm_shape)
-                                a_name (pp_shape mb.Shadow.cm_shape) b_name
+                                (loc_of a_name) blk ma.Shadow.cm_name
+                                (pp_shape ma.Shadow.cm_shape) a_name
+                                (pp_shape mb.Shadow.cm_shape) b_name
                               :: !errors
                           else if
                             not
@@ -80,9 +100,10 @@ let check_commons (objs : Objfile.t list) =
                           then
                             errors :=
                               Printf.sprintf
-                                "common /%s/: array %s has inconsistent \
+                                "%scommon /%s/: array %s has inconsistent \
                                  reshaped distributions in %s and %s"
-                                blk ma.Shadow.cm_name a_name b_name
+                                (loc_of a_name) blk ma.Shadow.cm_name a_name
+                                b_name
                               :: !errors)
                     side_a
                 in

@@ -449,6 +449,7 @@ let on_join t =
 let races t = List.rev t.races
 let false_sharing t = List.rev t.sharing
 let dropped t = t.dropped
+let is_clean t = t.races = [] && t.dropped = 0
 
 let access_desc w = if w then "write" else "read"
 

@@ -258,6 +258,12 @@ let build_symtab ctx consts =
               errf ctx d.Decl.dloc
                 "onto clause of %s has %d weights for %d distributed dimensions"
                 d.Decl.dtarget (List.length ws) ndist
+          | Some ws when List.exists (fun w -> w < 1) ws ->
+              (* Grid.assign requires positive weights; rejecting here keeps
+                 the failure a located compile-time error instead of a
+                 runtime invariant violation at elaboration *)
+              errf ctx d.Decl.dloc
+                "onto clause of %s has a non-positive weight" d.Decl.dtarget
           | _ -> ());
           if ndist = 0 then
             errf ctx d.Decl.dloc "distribution of %s distributes no dimension"
@@ -457,7 +463,22 @@ let rec check_stmt ctx (t : Stmt.t) : Stmt.t =
             | Some _ ->
                 if List.length rd.Stmt.rkinds <> List.length ai.ai_los then
                   errf ctx loc "redistribute of %s has wrong dimensionality"
-                    rd.Stmt.rarray)
+                    rd.Stmt.rarray;
+                let ndist =
+                  List.length
+                    (List.filter Ddsm_dist.Kind.is_distributed rd.Stmt.rkinds)
+                in
+                (match rd.Stmt.ronto with
+                | Some ws when List.length ws <> ndist ->
+                    errf ctx loc
+                      "onto clause of redistribute %s has %d weights for %d \
+                       distributed dimensions"
+                      rd.Stmt.rarray (List.length ws) ndist
+                | Some ws when List.exists (fun w -> w < 1) ws ->
+                    errf ctx loc
+                      "onto clause of redistribute %s has a non-positive weight"
+                      rd.Stmt.rarray
+                | _ -> ()))
         | _ -> errf ctx loc "redistribute target %s is not declared" rd.Stmt.rarray);
         Stmt.Redistribute rd
     | Stmt.Continue | Stmt.Return | Stmt.Barrier -> t.Stmt.s

@@ -322,6 +322,47 @@ let test_roundtrip_pp () =
   let s = Format.asprintf "%a" Decl.pp_file f in
   check_bool "pp non-empty" true (String.length s > 100)
 
+(* Table-driven rejections: every malformed program must produce a
+   diagnostic that leads with the source location (file:line).  This is
+   the contract behind pflc's exit-2 path and the fuzzer's Reject
+   bucket — a rejection is only useful if it says where. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let parse_reject_table =
+  [
+    ( "cyclic chunk zero",
+      "      program p\n      integer a(8)\nc$distribute a(cyclic(0))\n      end\n",
+      "chunk size" );
+    ( "unterminated declaration",
+      "      program p\n      integer a(\n      end\n",
+      "unexpected" );
+    ( "missing rhs",
+      "      program p\n      integer i\n      i = \n      end\n",
+      "unexpected" );
+    ( "do without enddo",
+      "      program p\n      integer i\n      do i = 1, 4\n      i = i\n      end\n",
+      "expected =" );
+    ( "unknown directive",
+      "      program p\nc$frobnicate a(block)\n      end\n",
+      "unexpected directive" );
+    ( "unterminated string",
+      "      program p\n      print *, 'oops\n      end\n",
+      "unterminated string" );
+  ]
+
+let test_parse_reject_table () =
+  List.iter
+    (fun (name, src, expect) ->
+      let e = parse_err src in
+      check_bool (name ^ ": error is located") true (contains e "test.pf:");
+      if not (contains e expect) then
+        Alcotest.failf "%s: error %S does not mention %S" name e expect)
+    parse_reject_table
+
 let () =
   Alcotest.run "frontend"
     [
@@ -351,5 +392,6 @@ let () =
           Alcotest.test_case "barrier directive" `Quick
             test_parse_barrier_directive;
           Alcotest.test_case "pretty printing" `Quick test_roundtrip_pp;
+          Alcotest.test_case "reject table" `Quick test_parse_reject_table;
         ] );
     ]

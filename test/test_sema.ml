@@ -407,6 +407,66 @@ let test_multiple_errors_reported () =
   | Ok _ -> Alcotest.fail "expected errors"
   | Error es -> check_int "all three reported" 3 (List.length es)
 
+(* Table-driven directive/storage rejections.  Each snippet is a complete
+   program that must be rejected with a located message containing the
+   expected fragment — the same diagnostics pflc surfaces on exit 2 and
+   the differential fuzzer classifies as Reject. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let sema_reject_table =
+  [
+    ( "onto weight zero",
+      "      program p\n      integer a(8)\nc$distribute a(block) onto(0)\n      end\n",
+      "non-positive weight" );
+    ( "onto arity mismatch",
+      "      program p\n      integer a(8, 8)\nc$distribute a(block, block) onto(2, 2, 2)\n      end\n",
+      "3 weights for 2 distributed dimensions" );
+    ( "no distributed dimension",
+      "      program p\n      integer a(8)\nc$distribute a(*)\n      end\n",
+      "distributes no dimension" );
+    ( "imperfect nest",
+      "      program p\n      integer i, j\n      real*8 a(4, 4)\n\
+       c$distribute a(block, block)\nc$doacross local(i, j), nest(i, j)\n\
+      \      do i = 1, 4\n        a(i, 1) = 0.0\n        do j = 1, 4\n\
+      \          a(i, j) = 1.0\n        enddo\n      enddo\n      end\n",
+      "perfect loop nest" );
+    ( "affinity to undistributed array",
+      "      program p\n      integer i\n      real*8 a(8), b(8)\n\
+       c$distribute a(block)\nc$doacross local(i), affinity(i) = data(b(i))\n\
+      \      do i = 1, 8\n        a(i) = 0.0\n      enddo\n      end\n",
+      "affinity array b is not distributed" );
+    ( "scalar in common block",
+      "      program p\n      real*8 x\n      common /cb/ x\n      end\n",
+      "only arrays are supported in common blocks" );
+    ( "redistribute of reshaped array",
+      "      program p\n      real*8 a(8)\nc$distribute_reshape a(block)\n\
+       c$redistribute a(cyclic)\n      end\n",
+      "cannot be redistributed" );
+    ( "redistribute of undistributed array",
+      "      program p\n      real*8 a(8)\nc$redistribute a(cyclic)\n      end\n",
+      "not a distributed array" );
+    ( "distribute of undeclared array",
+      "      program p\n      integer a(8)\nc$distribute b(block)\n      end\n",
+      "not declared" );
+  ]
+
+let test_sema_reject_table () =
+  List.iter
+    (fun (name, src, expect) ->
+      match analyse src with
+      | Ok _ -> Alcotest.failf "%s: expected a sema error" name
+      | Error es ->
+          check_bool (name ^ ": error is located") true
+            (List.exists (fun e -> contains e "t.pf:") es);
+          if not (List.exists (fun e -> contains e expect) es) then
+            Alcotest.failf "%s: errors %s do not mention %S" name
+              (String.concat "; " es) expect)
+    sema_reject_table
+
 let () =
   Alcotest.run "sema"
     [
@@ -435,6 +495,7 @@ let () =
             test_affinity_unmatched_dim_const;
           Alcotest.test_case "formal dists gated" `Quick test_formal_dist_gate;
           Alcotest.test_case "dsm intrinsics" `Quick test_dsm_intrinsics;
+          Alcotest.test_case "reject table" `Quick test_sema_reject_table;
         ] );
       ( "storage",
         [
