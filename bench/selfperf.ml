@@ -3,9 +3,19 @@
    machine — the cycle counts per run are deterministic, so cycles/sec is
    host wall-clock throughput of [Memsys.access] and the engine around it.
 
+   Two families:
+   - the original 1/8-proc hot-path kernels (regression-tracked since PR 4);
+   - a scaling family at 16/32/64/128 simulated procs, each measured on the
+     sequential event loop and on the domain-sharded loop (--shards 4),
+     recording the shard speedup in cycles/host-second. The sharded run's
+     cycle count is asserted equal to the sequential one — the byte-identity
+     contract — before anything is timed. Shard speedup depends on host
+     cores: on a single-core host the sharded loop serializes and the
+     recorded speedup is honest (≤ 1).
+
    Writes BENCH_simperf.json {kernel -> host seconds/run, sim cycles/run,
-   cycles/sec} to seed the perf trajectory; compare the file across
-   revisions of the simulator to see hot-path regressions. *)
+   cycles/sec, shard speedup} to seed the perf trajectory; compare the file
+   across revisions of the simulator to see hot-path regressions. *)
 
 module W = Workloads
 module H = Harness
@@ -48,8 +58,39 @@ let kernels ~quick =
     };
   ]
 
+(* The large-machine family: the paper's Table 2 / Figs 4-7 machine sizes.
+   Problem sizes grow with the machine so every processor owns work. *)
+let scaling_kernels ~quick =
+  let procs = if quick then [ 16; 128 ] else [ 16; 32; 64; 128 ] in
+  let iters = if quick then 1 else 2 in
+  List.concat_map
+    (fun nprocs ->
+      let t_n = max 64 nprocs in
+      let lu_n = if quick then 8 else 12 in
+      [
+        {
+          name = Printf.sprintf "transpose(%d) reshaped, %d procs" t_n nprocs;
+          prog = H.compile (W.transpose ~n:t_n ~iters W.Reshaped);
+          setup =
+            H.mk_setup ~machine_procs:nprocs ~factor:64
+              ~heap_words:(1 lsl 21) ();
+          nprocs;
+          version = W.Reshaped;
+        };
+        {
+          name = Printf.sprintf "lu(%d) reshaped, %d procs" lu_n nprocs;
+          prog = H.compile (W.lu ~n:lu_n ~iters W.Reshaped);
+          setup =
+            H.mk_setup ~machine_procs:nprocs ~factor:64
+              ~heap_words:(1 lsl 21) ();
+          nprocs;
+          version = W.Reshaped;
+        };
+      ])
+    procs
+
 (* ns/run by bechamel's OLS estimator over the monotonic clock *)
-let ns_per_run ~quota k =
+let ns_per_run ~quota ~shards k =
   let open Bechamel in
   let open Toolkit in
   let test =
@@ -57,7 +98,7 @@ let ns_per_run ~quota k =
       (Staged.stage (fun () ->
            ignore
              (H.run_prog ~setup:k.setup ~version:k.version ~nprocs:k.nprocs
-                k.prog)))
+                ~shards k.prog)))
   in
   let instance = Instance.monotonic_clock in
   let cfg =
@@ -77,6 +118,9 @@ let ns_per_run ~quota k =
     results;
   !est
 
+let deterministic_run ?(shards = 1) k =
+  H.run_prog ~setup:k.setup ~version:k.version ~nprocs:k.nprocs ~shards k.prog
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
@@ -85,12 +129,12 @@ let () =
   let rows =
     List.map
       (fun k ->
-        let o = H.run_prog ~setup:k.setup ~version:k.version ~nprocs:k.nprocs k.prog in
+        let o = deterministic_run k in
         let cycles = o.Ddsm_core.Ddsm.Engine.cycles in
         let accesses =
           Ddsm_machine.Counters.accesses o.Ddsm_core.Ddsm.Engine.counters
         in
-        let ns = ns_per_run ~quota k in
+        let ns = ns_per_run ~quota ~shards:1 k in
         let secs = ns *. 1e-9 in
         let cps = float_of_int cycles /. secs in
         Format.fprintf ppf
@@ -100,12 +144,42 @@ let () =
         (k, secs, cycles, accesses, cps))
       (kernels ~quick)
   in
+  Format.fprintf ppf "@.==== scaling: 16..128 procs, 1 vs 4 shards ====@.@.";
+  let scaling_rows =
+    List.map
+      (fun k ->
+        let o1 = deterministic_run k in
+        let o4 = deterministic_run ~shards:4 k in
+        let cycles = o1.Ddsm_core.Ddsm.Engine.cycles in
+        (* byte-identity gate: a sharded run that disagrees on total cycles
+           is a correctness bug, not a data point *)
+        if o4.Ddsm_core.Ddsm.Engine.cycles <> cycles then begin
+          Format.fprintf ppf
+            "  FAIL %s: sharded run diverged (%d vs %d cycles)@." k.name
+            cycles o4.Ddsm_core.Ddsm.Engine.cycles;
+          exit 3
+        end;
+        let accesses =
+          Ddsm_machine.Counters.accesses o1.Ddsm_core.Ddsm.Engine.counters
+        in
+        let secs1 = ns_per_run ~quota ~shards:1 k *. 1e-9 in
+        let secs4 = ns_per_run ~quota ~shards:4 k *. 1e-9 in
+        let cps1 = float_of_int cycles /. secs1 in
+        let cps4 = float_of_int cycles /. secs4 in
+        let speedup = cps4 /. cps1 in
+        Format.fprintf ppf
+          "  %-36s %12d cycles  %11.3e cycles/s  %11.3e cycles/s @@4sh  %5.2fx@."
+          k.name cycles cps1 cps4 speedup;
+        (k, secs1, secs4, cycles, accesses, cps1, cps4, speedup))
+      (scaling_kernels ~quick)
+  in
   let open Json in
   H.write_json ppf ~path:"BENCH_simperf.json"
     (Obj
        [
          ("experiment", Str "simperf");
          ("quick", Bool quick);
+         ("host_cores", Int (Domain.recommended_domain_count ()));
          ( "kernels",
            List
              (List.map
@@ -119,4 +193,21 @@ let () =
                       ("cycles_per_host_second", Float cps);
                     ])
                 rows) );
+         ( "scaling",
+           List
+             (List.map
+                (fun (k, secs1, secs4, cycles, accesses, cps1, cps4, speedup) ->
+                  Obj
+                    [
+                      ("kernel", Str k.name);
+                      ("nprocs", Int k.nprocs);
+                      ("host_seconds_per_run", Float secs1);
+                      ("host_seconds_per_run_4shards", Float secs4);
+                      ("sim_cycles_per_run", Int cycles);
+                      ("accesses_per_run", Int accesses);
+                      ("cycles_per_host_second", Float cps1);
+                      ("cycles_per_host_second_4shards", Float cps4);
+                      ("shard_speedup_4v1", Float speedup);
+                    ])
+                scaling_rows) );
        ])

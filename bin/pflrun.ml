@@ -54,22 +54,32 @@ let fail_diag d =
   Printf.eprintf "runtime error: %s\n" (Diag.to_string d);
   exit (if Diag.is_internal d then 3 else 2)
 
-(* One configured run of the linked image; a fresh machine every time. *)
+let config_of_machine ~machine ~nprocs =
+  let module Config = Ddsm_machine.Config in
+  match machine with
+  | Ddsm.Origin2000 -> Config.origin2000 ~nprocs
+  | Ddsm.Scaled factor -> Config.scaled ~nprocs ~factor ()
+
+(* One configured run of the linked image; a fresh machine every time.
+   Machine-shape rejections (hypercube dimension bound, geometry
+   invariants) surface as a structured Diag located at the configuration
+   phase, naming the offending parameter, not an uncaught exception. *)
 let run_once linked ~nprocs ~policy ~machine ~heap_words ~checks ~bounds
-    ~max_cycles ~audit ~fault ?profile ?sanitize () =
-  let prog = Ddsm.prog_of_linked linked in
-  let rt = Ddsm.make_rt ~machine ~policy ~heap_words ~fault ~nprocs () in
-  Ddsm.run prog ~rt ~checks ~bounds ?max_cycles ~audit ?profile ?sanitize ()
+    ~max_cycles ~audit ~fault ?(shards = 1) ?profile ?sanitize () =
+  let module Config = Ddsm_machine.Config in
+  match Config.validate (config_of_machine ~machine ~nprocs) with
+  | Error e -> Error (Diag.user ~phase:"config" e)
+  | Ok () ->
+      let prog = Ddsm.prog_of_linked linked in
+      let rt = Ddsm.make_rt ~machine ~policy ~heap_words ~fault ~nprocs () in
+      Ddsm.run prog ~rt ~checks ~bounds ?max_cycles ~audit ~shards ?profile
+        ?sanitize ()
 
 (* the sanitizer classifies false sharing with the simulated machine's own
    L2-line/page geometry, so build it from the same config make_rt uses *)
 let make_sanitizer ~machine ~nprocs =
   let module Config = Ddsm_machine.Config in
-  let cfg =
-    match machine with
-    | Ddsm.Origin2000 -> Config.origin2000 ~nprocs
-    | Ddsm.Scaled factor -> Config.scaled ~nprocs ~factor ()
-  in
+  let cfg = config_of_machine ~machine ~nprocs in
   Ddsm.Sanitize.create ~nprocs
     ~line_bytes:cfg.Config.l2.Config.line_bytes
     ~page_bytes:cfg.Config.page_bytes ()
@@ -164,7 +174,8 @@ let differential linked ~n ~seed ~jobs ~nprocs ~policy ~machine ~heap_words
   base
 
 let run image nprocs policy machine heap_words stats no_checks bounds
-    max_cycles fault audit differ seed jobs profile trace race race_json =
+    max_cycles fault audit differ seed jobs shards profile trace race
+    race_json =
   try
     match Ddsm.load_image ~path:image with
     | Error e ->
@@ -189,8 +200,8 @@ let run image nprocs policy machine heap_words stats no_checks bounds
             in
             match
               run_once linked ~nprocs ~policy ~machine ~heap_words ~checks
-                ~bounds ~max_cycles ~audit ~fault ?profile:prof ?sanitize:san
-                ()
+                ~bounds ~max_cycles ~audit ~fault ~shards ?profile:prof
+                ?sanitize:san ()
             with
             | Error d -> fail_diag d
             | Ok o ->
@@ -336,6 +347,18 @@ let () =
              (default from $(b,DDSM_JOBS), else 1). Results are reported in \
              configuration order, so the output is identical for any N.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt int (Ddsm_util.Jobs.default_shards ())
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the simulation itself across N domains (default from \
+             $(b,DDSM_SHARDS), else 1): parallel-region interpreter \
+             segments run on worker domains while one coordinator commits \
+             every memory-system event in exact simulated-time order, so \
+             output is byte-identical for any N.")
+  in
   let profile =
     Arg.(
       value & flag
@@ -382,6 +405,6 @@ let () =
       Term.(
         const run $ image $ nprocs $ policy $ machine $ heap $ stats $ no_checks
         $ bounds $ max_cycles $ fault $ audit $ differential $ seed $ jobs
-        $ profile $ trace $ race $ race_json)
+        $ shards $ profile $ trace $ race $ race_json)
   in
   exit (Cmd.eval cmd)

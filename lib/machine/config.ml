@@ -61,6 +61,18 @@ let pages_per_node t = t.node_mem_bytes / t.page_bytes
 
 let is_pow2 x = x > 0 && x land (x - 1) = 0
 
+(* The interconnect is a hypercube over node ids (paper §2: bristled
+   hypercube up to 64 nodes / 128 procs).  We cap the geometry at 10
+   dimensions — 1024 nodes, 8x the paper's machine — so hop counts, the
+   hop-latency table and directory bitmaps all stay small and dense. *)
+let max_dims = 10
+let max_nodes = 1 lsl max_dims
+
+let dims t =
+  let n = nnodes t in
+  let rec go d = if 1 lsl d >= n then d else go (d + 1) in
+  go 0
+
 let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if t.nprocs < 1 then err "nprocs < 1"
@@ -89,4 +101,11 @@ let validate t =
     t.local_mem_cycles < 1 || t.remote_base_cycles < t.local_mem_cycles
   then err "remote latency must be >= local latency"
   else if t.node_mem_bytes < t.page_bytes then err "node memory below one page"
+  else if nnodes t > max_nodes then
+    err
+      "machine shape unsupported: %d procs at %d per node is %d nodes, \
+       beyond the %d-dimensional hypercube bound (%d nodes); non-power-of-two \
+       node counts embed in the next power-of-two subcube, but the dimension \
+       itself is capped"
+      t.nprocs t.procs_per_node (nnodes t) max_dims max_nodes
   else Ok ()

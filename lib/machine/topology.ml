@@ -1,7 +1,26 @@
-type t = { cfg : Config.t; nnodes : int }
+type t = {
+  cfg : Config.t;
+  nnodes : int;
+  dims : int;
+  (* memory latency by hop count, dense over [0 .. dims]: hop distances in
+     a hypercube (Hamming distance of node ids) never exceed the dimension,
+     so every lookup the simulator can make is precomputed once here *)
+  hop_latency : int array;
+}
 
-let create cfg = { cfg; nnodes = Config.nnodes cfg }
+let create cfg =
+  let dims = Config.dims cfg in
+  let hop_latency =
+    Array.init (dims + 1) (fun h ->
+        if h = 0 then cfg.Config.local_mem_cycles
+        else
+          cfg.Config.remote_base_cycles
+          + ((h - 1) * cfg.Config.remote_per_hop_cycles))
+  in
+  { cfg; nnodes = Config.nnodes cfg; dims; hop_latency }
+
 let nnodes t = t.nnodes
+let dims t = t.dims
 let node_of_proc t p = Config.node_of_proc t.cfg p
 
 let hops t n1 n2 =
@@ -13,16 +32,18 @@ let hops t n1 n2 =
     let rec pc x acc = if x = 0 then acc else pc (x land (x - 1)) (acc + 1) in
     max 1 (pc x 0)
 
+let hop_latency t ~hops =
+  if hops < 0 || hops > t.dims then
+    invalid_arg "Topology.hop_latency: hop count out of range";
+  t.hop_latency.(hops)
+
+let min_cross_hop_cycles t =
+  if t.dims = 0 then t.cfg.Config.local_mem_cycles else t.hop_latency.(1)
+
 let route_cycles t ~from_node ~to_node =
   let h = hops t from_node to_node in
   if h = 0 then 0
-  else
-    (t.cfg.Config.remote_base_cycles - t.cfg.Config.local_mem_cycles)
-    + ((h - 1) * t.cfg.Config.remote_per_hop_cycles)
+  else t.hop_latency.(h) - t.cfg.Config.local_mem_cycles
 
 let mem_latency t ~proc_node ~home_node =
-  let h = hops t proc_node home_node in
-  if h = 0 then t.cfg.Config.local_mem_cycles
-  else
-    t.cfg.Config.remote_base_cycles
-    + ((h - 1) * t.cfg.Config.remote_per_hop_cycles)
+  t.hop_latency.(hops t proc_node home_node)

@@ -16,6 +16,16 @@ let default_jobs () =
           invalid_arg
             (Printf.sprintf "DDSM_JOBS=%S: expected a positive integer" s))
 
+let default_shards () =
+  match Sys.getenv_opt "DDSM_SHARDS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "DDSM_SHARDS=%S: expected a positive integer" s))
+
 type 'b slot = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
 
 let map ?(jobs = 1) f xs =

@@ -11,6 +11,11 @@ val default_jobs : unit -> int
 (** Job count from the [DDSM_JOBS] environment variable; 1 when unset.
     Raises [Invalid_argument] on a malformed value. *)
 
+val default_shards : unit -> int
+(** Intra-run shard count from the [DDSM_SHARDS] environment variable; 1
+    when unset (sequential event loop). Raises [Invalid_argument] on a
+    malformed value. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs] domains
     (the calling domain included). [jobs <= 1] runs sequentially with no

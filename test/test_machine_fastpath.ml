@@ -225,6 +225,78 @@ let test_directory_oracle () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* sharded-engine determinism: the probe-stream merge.
+
+   The domain-sharded event loop (Engine.run ~shards) commits every
+   memory-system event on the coordinator in exact sequential order, so
+   every observer downstream of the commit stream — the profile
+   attribution table, the sanitizer's race/false-sharing reports, and the
+   Stats view (including its internal counter-accounting audit) — must
+   come out identical for 1 vs N shards, program by program.  Programs
+   come from the fuzz generator for structural diversity. *)
+
+module Ddsm = Ddsm_core.Ddsm
+module Gen = Ddsm_fuzz.Gen
+module Spec = Ddsm_fuzz.Spec
+module Stats = Ddsm_report.Stats
+
+let shard_observables files ~shards =
+  let objs =
+    List.map
+      (fun (fname, src) ->
+        match Ddsm.compile_source ~fname src with
+        | Ok o -> o
+        | Error es ->
+            Alcotest.failf "compile %s: %s" fname (String.concat "; " es))
+      files
+  in
+  let prog =
+    match Ddsm.link objs with
+    | Ok (p, _) -> p
+    | Error es -> Alcotest.failf "link: %s" (String.concat "; " es)
+  in
+  let nprocs = 4 in
+  let cfg = Config.scaled ~nprocs () in
+  let sanitize =
+    Ddsm.Sanitize.create ~nprocs
+      ~line_bytes:cfg.Config.l2.Config.line_bytes
+      ~page_bytes:cfg.Config.page_bytes ()
+  in
+  let profile = Ddsm.Profile.create () in
+  let rt = Ddsm.make_rt ~heap_words:(1 lsl 18) ~nprocs () in
+  match
+    Ddsm.run prog ~rt ~checks:true ~bounds:true ~max_cycles:60_000_000
+      ~shards ~profile ~sanitize ()
+  with
+  | Error d -> "diag:" ^ Ddsm.Diag.code d
+  | Ok o ->
+      String.concat "\n--\n"
+        [
+          String.concat "|" o.Ddsm.Engine.prints;
+          string_of_int o.Ddsm.Engine.cycles;
+          Format.asprintf "%a" Stats.pp
+            (Stats.of_counters o.Ddsm.Engine.counters);
+          String.concat "|" (Stats.audit o.Ddsm.Engine.counters);
+          Format.asprintf "%a" (Ddsm.Profile.pp_report ~top:16) profile;
+          Format.asprintf "%a" Ddsm.Sanitize.pp_report sanitize;
+        ]
+
+let test_sharded_probe_stream () =
+  for seed = 0 to 11 do
+    let files = Spec.render (Gen.generate ~seed ()) in
+    let base = shard_observables files ~shards:1 in
+    List.iter
+      (fun shards ->
+        let got = shard_observables files ~shards in
+        if got <> base then
+          Alcotest.failf
+            "seed %d: observables diverge at %d shards\n-- 1 shard --\n%s\n\
+             -- %d shards --\n%s"
+            seed shards base shards got)
+      [ 2; 3; 4 ]
+  done
+
+(* ------------------------------------------------------------------ *)
 (* jobs determinism *)
 
 let test_jobs_order () =
@@ -311,5 +383,10 @@ let () =
             test_jobs_lowest_index_under_timing_skew;
           Alcotest.test_case "empty and single" `Quick
             test_jobs_empty_and_single;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "probe stream identical 1 vs N shards" `Quick
+            test_sharded_probe_stream;
         ] );
     ]
