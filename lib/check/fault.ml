@@ -5,6 +5,7 @@ type t = {
   slow_links : ((int * int) * int) list;
   tlb_flush_period : int;
   redist_fail : int;
+  migrate_fail : int;
   lose_wakeup : int;
   drop_barrier : int;
 }
@@ -17,6 +18,7 @@ let none =
     slow_links = [];
     tlb_flush_period = 0;
     redist_fail = 0;
+    migrate_fail = 0;
     lose_wakeup = 0;
     drop_barrier = 0;
   }
@@ -24,16 +26,16 @@ let none =
 let is_none t = t = none
 
 let make ?(seed = 0) ?(slow_nodes = []) ?(hot_dirs = []) ?(slow_links = [])
-    ?(tlb_flush_period = 0) ?(redist_fail = 0) ?(lose_wakeup = 0)
-    ?(drop_barrier = 0) () =
+    ?(tlb_flush_period = 0) ?(redist_fail = 0) ?(migrate_fail = 0)
+    ?(lose_wakeup = 0) ?(drop_barrier = 0) () =
   List.iter
     (fun (_, x) -> if x < 0 then invalid_arg "Fault.make: negative extra cycles")
     (slow_nodes @ hot_dirs);
   List.iter
     (fun (_, x) -> if x < 0 then invalid_arg "Fault.make: negative extra cycles")
     slow_links;
-  if tlb_flush_period < 0 || redist_fail < 0 || lose_wakeup < 0
-     || drop_barrier < 0
+  if tlb_flush_period < 0 || redist_fail < 0 || migrate_fail < 0
+     || lose_wakeup < 0 || drop_barrier < 0
   then invalid_arg "Fault.make: negative parameter";
   {
     seed;
@@ -42,6 +44,7 @@ let make ?(seed = 0) ?(slow_nodes = []) ?(hot_dirs = []) ?(slow_links = [])
     slow_links;
     tlb_flush_period;
     redist_fail;
+    migrate_fail;
     lose_wakeup;
     drop_barrier;
   }
@@ -84,6 +87,7 @@ let random ~seed ~nnodes =
     slow_links;
     tlb_flush_period;
     redist_fail;
+    migrate_fail = 0;
     lose_wakeup = 0;
     drop_barrier = 0;
   }
@@ -109,6 +113,12 @@ let tlb_flush_due t ~accesses =
   t.tlb_flush_period > 0 && accesses mod t.tlb_flush_period = 0
 
 let redist_attempt_fails t ~attempt = attempt >= 0 && attempt < t.redist_fail
+
+(* Page migrations fail from the Nth one on (1-based, machine-wide
+   counter): the first N-1 succeed, so an injected failure lands in the
+   MIDDLE of a planned bulk migration and exercises the rollback path. *)
+let migration_fails t ~migration =
+  t.migrate_fail > 0 && migration >= t.migrate_fail - 1
 let wakeup_lost t ~wakeup = t.lose_wakeup > 0 && wakeup = t.lose_wakeup
 let barrier_dropped t ~barrier = t.drop_barrier > 0 && barrier = t.drop_barrier
 
@@ -130,6 +140,9 @@ let to_spec t =
          else [])
       @ (if t.redist_fail > 0 then
            [ Printf.sprintf "redist-fail=%d" t.redist_fail ]
+         else [])
+      @ (if t.migrate_fail > 0 then
+           [ Printf.sprintf "migrate-fail=%d" t.migrate_fail ]
          else [])
       @ (if t.lose_wakeup > 0 then
            [ Printf.sprintf "lose-wakeup=%d" t.lose_wakeup ]
@@ -188,6 +201,10 @@ let of_spec s =
                   match int_v () with
                   | Some n when n >= 0 -> go { acc with redist_fail = n } rest
                   | _ -> err "fault spec: redist-fail=%S wants a count >= 0" v)
+              | "migrate-fail" -> (
+                  match int_v () with
+                  | Some n when n >= 0 -> go { acc with migrate_fail = n } rest
+                  | _ -> err "fault spec: migrate-fail=%S wants a count >= 0" v)
               | "lose-wakeup" -> (
                   match int_v () with
                   | Some n when n >= 0 -> go { acc with lose_wakeup = n } rest

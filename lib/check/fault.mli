@@ -35,6 +35,13 @@ type t = {
   redist_fail : int;
       (** the first N redistribution attempts (machine-wide) return a
           retryable failure — models transient page-migration failure *)
+  migrate_fail : int;
+      (** page migrations fail from the Nth one on (1-based, machine-wide
+          counter): the first N-1 succeed, so a planned bulk migration
+          fails in the MIDDLE and must roll back; 0 = off. Never chosen by
+          {!random} — the failure is persistent, so a redistribute under
+          this clause always falls back to the old placement (correct,
+          only slower). *)
   lose_wakeup : int;
       (** chaos (not performance-side): drop the Nth memory-completion
           wakeup so the program deadlocks; 0 = off. For watchdog tests. *)
@@ -57,6 +64,7 @@ val make :
   ?slow_links:((int * int) * int) list ->
   ?tlb_flush_period:int ->
   ?redist_fail:int ->
+  ?migrate_fail:int ->
   ?lose_wakeup:int ->
   ?drop_barrier:int ->
   unit ->
@@ -88,6 +96,10 @@ val redist_attempt_fails : t -> attempt:int -> bool
 (** Does redistribution attempt number [attempt] (0-based, machine-wide)
     fail retryably? *)
 
+val migration_fails : t -> migration:int -> bool
+(** Does page migration number [migration] (0-based, machine-wide) fail?
+    True from the [migrate_fail]-th migration (1-based) on. *)
+
 val wakeup_lost : t -> wakeup:int -> bool
 (** Chaos: is memory-completion wakeup number [wakeup] (1-based,
     machine-wide) dropped? *)
@@ -108,6 +120,7 @@ val of_spec : string -> (t, string) result
     - [link=A-B:EXTRA] (repeatable)
     - [tlb=PERIOD]
     - [redist-fail=N]
+    - [migrate-fail=N]
     - [lose-wakeup=N]
     - [drop-barrier=N]
     - [random=SEED:NNODES] (expands to {!random}; other clauses override)

@@ -147,6 +147,17 @@ let load_real g (addrf : ctx -> int) ctx =
   Effect.perform (Eff.Mem (ctx.ws, addr, false));
   Heap.get_real g.rt.Rt.heap addr
 
+(* Storing a real value into an INTEGER array element: NaN and
+   out-of-range magnitudes have no integer representation — surface the
+   located runtime error instead of int_of_float's silent 0/garbage. The
+   fuzz reference interpreter mirrors this rule exactly. *)
+let int_elem_of_real a v =
+  match Rt.int_of_real v with
+  | Some i -> i
+  | None ->
+      Eff.error "array %s: cannot store %g into an integer element (%s)" a v
+        (if Float.is_nan v then "NaN" else "out of integer range")
+
 let meta_addr name (ab : Frame.abind) field =
   match ab.Frame.ab_darr with
   | None ->
@@ -558,6 +569,15 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             let addr = addrf ctx in
             Effect.perform (Eff.Mem (ctx.ws, addr, true));
             Heap.set_real renv.g.rt.Rt.heap addr v
+      | Types.Tint when ety renv e = Types.Treal ->
+          let f, ce = compile_f renv e in
+          let c = ca + ce + Costs.assign + Costs.alu in
+          fun ctx ->
+            charge c ctx.ws;
+            let v = int_elem_of_real a (f ctx) in
+            let addr = addrf ctx in
+            Effect.perform (Eff.Mem (ctx.ws, addr, true));
+            Heap.set_int renv.g.rt.Rt.heap addr v
       | Types.Tint ->
           let f, ce = compile_i renv e in
           let c = ca + ce + Costs.assign in
@@ -580,6 +600,15 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             let addr = addrf ctx in
             Effect.perform (Eff.Mem (ctx.ws, addr, true));
             Heap.set_real renv.g.rt.Rt.heap addr v
+      | Types.Tint when ety renv e = Types.Treal ->
+          let f, ce = compile_f renv e in
+          let c = ca + ce + Costs.assign + Costs.alu in
+          fun ctx ->
+            charge c ctx.ws;
+            let v = int_elem_of_real "<lowered>" (f ctx) in
+            let addr = addrf ctx in
+            Effect.perform (Eff.Mem (ctx.ws, addr, true));
+            Heap.set_int renv.g.rt.Rt.heap addr v
       | Types.Tint ->
           let f, ce = compile_i renv e in
           let c = ca + ce + Costs.assign in
@@ -636,22 +665,26 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
   | Stmt.Redistribute rd ->
       let kinds = Array.of_list rd.Stmt.rkinds in
       let onto = Option.map Array.of_list rd.Stmt.ronto in
+      let procs = rd.Stmt.rprocs in
       let qname = qualified_array renv rd.Stmt.rarray in
-      let page_words = Rt.page_words renv.g.rt in
       fun ctx -> (
-        match Rt.redistribute renv.g.rt ~name:qname ~kinds ?onto () with
-        | Ok { Rt.moved; retries; fell_back } ->
-            (* failed attempts cost backoff time; a fallback costs only the
-               retries (no pages move, the old placement is kept) *)
+        match Rt.redistribute renv.g.rt ~name:qname ~kinds ?onto ?procs () with
+        | Ok { Rt.moved; words = _; rounds; round_words; retries; fell_back }
+          ->
+            (* failed attempts cost backoff time; the data movement itself
+               is charged by the round schedule — rounds run back to back,
+               transfers within a round in parallel. A fallback costs only
+               the retries (nothing moves, the old placement is kept). *)
             charge
               ((retries * Costs.redistribute_retry)
-              + (moved * Costs.redistribute_per_page ~page_words))
+              + Costs.redistribute_scheduled ~rounds ~round_words)
               ctx.ws;
             Rt.note_event renv.g.rt
               ~name:(if fell_back then "redistribute-fallback"
                      else "redistribute")
               ~detail:
-                (Printf.sprintf "%s moved=%d retries=%d" qname moved retries)
+                (Printf.sprintf "%s moved=%d rounds=%d retries=%d" qname moved
+                   rounds retries)
               ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
         | Error m -> Eff.error "%s" m)
   | Stmt.Continue -> fun _ -> ()

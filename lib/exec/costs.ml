@@ -13,7 +13,25 @@ let argcheck_lookup = 25
 (* moving one page: read + write each cache line through memory *)
 let redistribute_per_page ~page_words = page_words / 4
 
+(* moving [words] data words of one transfer: same per-word bandwidth as
+   the page path *)
+let redistribute_words ~words = words / 4
+
+(* one all-to-all round of a scheduled redistribution: pairing up the
+   senders/receivers and the round barrier *)
+let redistribute_round = 150
+
 (* one failed redistribution attempt: OS round-trip plus backoff wait *)
 let redistribute_retry = 400
+
+(* a scheduled redistribution runs its rounds back to back; within a
+   round the transfers proceed in parallel, so the round costs its
+   LARGEST transfer ([round_words] is the sum of those maxima). The naive
+   plan moves every cross word serially with no round structure. *)
+let redistribute_scheduled ~rounds ~round_words =
+  (rounds * redistribute_round) + redistribute_words ~words:round_words
+
+let redistribute_naive ~cross_words ~transfers =
+  (transfers * redistribute_round) + redistribute_words ~words:cross_words
 
 let intrinsic = Ddsm_sema.Intrinsics.cycles

@@ -37,8 +37,25 @@ val argcheck_lookup : int
 
 val redistribute_per_page : page_words:int -> int
 
+(** cycles to move [words] data words of one transfer (per-word bandwidth
+    of the page-migration path) *)
+val redistribute_words : words:int -> int
+
+(** cycles for one all-to-all round of a scheduled redistribution:
+    pairing up the senders/receivers and the round barrier *)
+val redistribute_round : int
+
 (** cycles charged for each failed (injected) redistribution attempt:
     OS round-trip plus backoff wait before retrying *)
 val redistribute_retry : int
+
+(** a scheduled redistribution runs [rounds] rounds back to back; within
+    a round the transfers proceed in parallel so each round costs its
+    largest transfer ([round_words] is the sum of those maxima) *)
+val redistribute_scheduled : rounds:int -> round_words:int -> int
+
+(** the unscheduled plan moves every cross word serially, paying the
+    round setup once per transfer *)
+val redistribute_naive : cross_words:int -> transfers:int -> int
 
 val intrinsic : string -> int

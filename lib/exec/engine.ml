@@ -289,7 +289,8 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
   let detach_observers () =
     if observing then begin
       Memsys.set_probe mem None;
-      rt.Rt.on_event <- None
+      rt.Rt.on_event <- None;
+      rt.Rt.on_relayout <- None
     end
   in
   (* Full-context diagnosis: reason + where every simulated task stands.
@@ -337,8 +338,10 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
   try
     elaborate prog ~rt;
     (* the allocation map is complete once elaboration has declared every
-       static array; redistribute moves pages, not addresses, so ranges
-       registered here stay valid for the whole run *)
+       static array.  Redistributing a regular array moves pages, not
+       addresses, so those ranges stay valid for the whole run; a reshaped
+       redistribute installs freshly allocated portions, so the runtime's
+       relayout hook re-registers the array's new ranges as they appear *)
     (match profile with
     | None -> ()
     | Some p ->
@@ -353,6 +356,19 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
           (fun name d ->
             Sanitize.register_array s ~name ~word_ranges:(Darray.word_ranges d))
           rt.Rt.arrays);
+    (match (profile, sanitize) with
+    | None, None -> ()
+    | _ ->
+        rt.Rt.on_relayout <-
+          Some
+            (fun d ->
+              let name = d.Darray.name and ranges = Darray.word_ranges d in
+              Option.iter
+                (fun p -> Profile.register_array p ~name ~word_ranges:ranges)
+                profile;
+              Option.iter
+                (fun s -> Sanitize.register_array s ~name ~word_ranges:ranges)
+                sanitize));
     phase := "compile";
     let g =
       Compilec.create prog ~rt ~checks ~bounds

@@ -198,6 +198,16 @@ let parse_onto_opt st =
   end
   else None
 
+(* [procs(N)] on c$redistribute: resize the onto-grid to N processors *)
+let parse_procs_opt st =
+  if accept_ident st "procs" then begin
+    expect st Token.TLparen;
+    let n = int_lit st in
+    expect st Token.TRparen;
+    Some n
+  end
+  else None
+
 (* one c$distribute[_reshape] line may name several arrays *)
 let parse_distribute st ~reshape =
   let dloc = loc st in
@@ -334,8 +344,11 @@ and parse_stmt st =
       let rarray = ident st in
       let kinds = parse_dist_kinds st in
       let onto = parse_onto_opt st in
+      let procs = parse_procs_opt st in
       newline st;
-      Stmt.mk ~loc:l (Stmt.Redistribute { rarray; rkinds = kinds; ronto = onto })
+      Stmt.mk ~loc:l
+        (Stmt.Redistribute
+           { rarray; rkinds = kinds; ronto = onto; rprocs = procs })
   | Token.TDirective "barrier" ->
       advance st;
       newline st;

@@ -279,20 +279,39 @@ let gen_stmt rng arrays subs : Spec.stmt =
       | Some s -> s
       | None -> serial_loop ())
   | n when n < 88 -> (
-      let regular =
+      (* regular distributed arrays redistribute freely (page migration);
+         reshaped arrays relayout through copy-then-install, but only when
+         no subroutine could take them as an actual — the §6 argument
+         checks key on the original descriptor *)
+      let callable (a : Spec.arr) =
+        compatible_whole subs a <> []
+        || List.exists
+             (fun (s : Spec.sub) ->
+               match s.Spec.skind with
+               | `Elem k ->
+                   a.Spec.nd = 1 && s.Spec.sty = a.Spec.aty
+                   && elem_starts a k <> []
+               | `Whole _ -> false)
+             subs
+      in
+      let targets =
         List.filter
           (fun (a : Spec.arr) ->
             match a.Spec.adist with
             | Some { Spec.reshape = false; _ } -> true
-            | _ -> false)
+            | Some { Spec.reshape = true; _ } -> not (callable a)
+            | None -> false)
           arrays
       in
-      match regular with
+      match targets with
       | [] -> serial_loop ()
       | _ ->
-          let a = Rng.pick rng regular in
+          let a = Rng.pick rng targets in
           let d = gen_dist rng a.Spec.nd in
-          Spec.SRedist (a.Spec.an, d.Spec.kinds, d.Spec.onto))
+          let procs =
+            if Rng.chance rng ~pct:30 then Some (Rng.range rng 1 8) else None
+          in
+          Spec.SRedist (a.Spec.an, d.Spec.kinds, d.Spec.onto, procs))
   | n when n < 93 -> Spec.SBarrier
   | _ -> Spec.SPrintSum (pick_arr ()).Spec.an
 

@@ -2,6 +2,7 @@ open Ddsm_ir
 module Sema = Ddsm_sema.Sema
 module Intrinsics = Ddsm_sema.Intrinsics
 module K = Ddsm_dist.Kind
+module Rt = Ddsm_runtime.Rt
 
 type failure = F_timeout | F_user of string | F_unsupported of string
 
@@ -425,7 +426,21 @@ and exec_stmt g fr (t : Stmt.t) =
           let vals = List.map (eval_i g fr) subs in
           v.vstore.sf.(elem_offset a v vals) <- x
       | Types.Tint ->
-          let x = eval_i g fr e in
+          (* mirror the engine: a real value stored into an integer
+             element is checked (NaN and out-of-range are runtime
+             errors); scalar coercions elsewhere stay silent *)
+          let x =
+            if ety fr e = Types.Treal then
+              let r = eval_f g fr e in
+              match Rt.int_of_real r with
+              | Some i -> i
+              | None ->
+                  uerror
+                    "array %s: cannot store %g into an integer element (%s)" a
+                    r
+                    (if Float.is_nan r then "NaN" else "out of integer range")
+            else eval_i g fr e
+          in
           let vals = List.map (eval_i g fr) subs in
           v.vstore.si.(elem_offset a v vals) <- x)
   | Stmt.Do d -> exec_do g fr d
@@ -441,10 +456,10 @@ and exec_stmt g fr (t : Stmt.t) =
       fr.scalars <- saved
   | Stmt.Redistribute rd -> (
       match Sema.find_array fr.env rd.Stmt.rarray with
-      | Some { Sema.ai_dist = Some { Decl.dreshape = false; _ }; _ } ->
-          () (* pure page migration: no values move *)
       | Some { Sema.ai_dist = Some _; _ } ->
-          uerror "cannot redistribute reshaped array %s" rd.Stmt.rarray
+          (* regular arrays migrate pages, reshaped arrays relayout via
+             copy-then-install: either way no element value changes *)
+          ()
       | _ -> uerror "cannot redistribute undistributed array %s" rd.Stmt.rarray
       )
   | Stmt.Continue -> ()

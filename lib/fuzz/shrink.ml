@@ -25,7 +25,7 @@ let rec stmt_arrays st =
       @ List.concat_map stmt_arrays th
       @ List.concat_map stmt_arrays el
   | SCallWhole (_, a, e) | SCallElem (_, a, _, e) -> a :: exp_arrays e
-  | SRedist (a, _, _) -> [ a ]
+  | SRedist (a, _, _, _) -> [ a ]
   | SBarrier -> []
   | SPrintSum a -> [ a ]
 
@@ -196,7 +196,7 @@ let candidates t =
               t' with
               body =
                 List.filter
-                  (function SRedist (x, _, _) -> x <> a.an | _ -> true)
+                  (function SRedist (x, _, _, _) -> x <> a.an | _ -> true)
                   t'.body;
             }
       | None -> ())

@@ -64,7 +64,8 @@ type stmt =
   | SIf of exp * stmt list * stmt list
   | SCallWhole of string * string * exp  (* sub, array, scalar actual *)
   | SCallElem of string * string * int * exp  (* sub, array, start, scalar *)
-  | SRedist of string * K.t list * int list option
+  | SRedist of string * K.t list * int list option * int option
+      (* array, new kinds, onto weights, procs(n) grid resize *)
   | SBarrier
   | SPrintSum of string  (* serial checksum loop + print *)
 
@@ -181,7 +182,7 @@ let render_stmt t buf st =
         add "%scall %s(%s, %s, %s)" pad s a ar.ap (render_exp ~loopp:"" e)
     | SCallElem (s, a, at, e) ->
         add "%scall %s(%s(%d), %s)" pad s a at (render_exp ~loopp:"" e)
-    | SRedist (a, kinds, onto) ->
+    | SRedist (a, kinds, onto, procs) ->
         let ks = String.concat ", " (List.map K.to_string kinds) in
         let os =
           match onto with
@@ -190,7 +191,12 @@ let render_stmt t buf st =
               Printf.sprintf " onto(%s)"
                 (String.concat ", " (List.map string_of_int ws))
         in
-        add "c$redistribute %s(%s)%s" a ks os
+        let ps =
+          match procs with
+          | None -> ""
+          | Some p -> Printf.sprintf " procs(%d)" p
+        in
+        add "c$redistribute %s(%s)%s%s" a ks os ps
     | SBarrier -> add "c$barrier"
     | SPrintSum a ->
         let ar = arr t a in

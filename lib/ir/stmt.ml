@@ -44,6 +44,9 @@ and redist = {
   rarray : string;
   rkinds : Ddsm_dist.Kind.t list;
   ronto : int list option;
+  rprocs : int option;
+      (* resize the onto-grid: redistribute over this many processors
+         (clamped to the job size at runtime) instead of all of them *)
 }
 
 let mk ?(loc = Loc.none) s = { s; loc }
@@ -236,11 +239,15 @@ let rec pp ppf t =
                 a.asubs)
         da.affinity pp_do da.loop
   | Redistribute r ->
-      Format.fprintf ppf "c$redistribute %s(%a)" r.rarray
+      Format.fprintf ppf "c$redistribute %s(%a)%a" r.rarray
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
            Ddsm_dist.Kind.pp)
         r.rkinds
+        (fun ppf -> function
+          | None -> ()
+          | Some p -> Format.fprintf ppf " procs(%d)" p)
+        r.rprocs
   | Continue -> Format.pp_print_string ppf "continue"
   | Return -> Format.pp_print_string ppf "return"
   | Print es ->

@@ -59,6 +59,10 @@ and redist = {
   rarray : string;
   rkinds : Ddsm_dist.Kind.t list;
   ronto : int list option;
+  rprocs : int option;
+      (** [procs(n)] clause: resize the onto-grid to [n] processors
+          (clamped to the job size at runtime) instead of using all of
+          them *)
 }
 
 val mk : ?loc:Loc.t -> kind -> t

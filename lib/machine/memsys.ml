@@ -46,6 +46,7 @@ type t = {
   fault : Fault.t;
   faults_off : bool; (* Fault.none: skip the per-access fault probes *)
   accesses : int array; (* per-proc translation count, for TLB-flush faults *)
+  mutable migrations : int; (* machine-wide count, for migrate-fail faults *)
   mutable probe : (access_event -> unit) option;
 }
 
@@ -80,6 +81,7 @@ let create cfg ~policy ?(fault = Fault.none) () =
     fault;
     faults_off = Fault.is_none fault;
     accesses = Array.make n 0;
+    migrations = 0;
     probe = None;
   }
 
@@ -123,6 +125,36 @@ let migrate_page t ~page ~node =
      processor's TLB and drop the one-entry translation memos *)
   Array.iter (fun tlb -> Tlb.invalidate tlb ~page) t.tlbs;
   invalidate_memos t
+
+(* Bulk scheduled migration: apply every (page, node) move or none. Each
+   move consults the fault plan's migrate-fail counter; on an injected
+   failure the already-applied moves are migrated BACK to their recorded
+   homes (rollback never consults the counter — a rollback that could
+   itself fail would leave the very half-moved state the bulk entry
+   exists to rule out) and the index of the failed move is returned. *)
+let migrate_pages t moves =
+  let applied = ref [] in
+  let rollback () =
+    List.iter (fun (page, home) -> migrate_page t ~page ~node:home) !applied
+  in
+  let rec go i = function
+    | [] -> Ok i
+    | (page, node) :: rest ->
+        let migration = t.migrations in
+        t.migrations <- migration + 1;
+        if Fault.migration_fails t.fault ~migration then begin
+          rollback ();
+          Error i
+        end
+        else begin
+          (match Pagetable.home_opt t.pt ~page with
+          | Some home -> applied := (page, home) :: !applied
+          | None -> ());
+          migrate_page t ~page ~node;
+          go (i + 1) rest
+        end
+  in
+  go 0 moves
 
 (* Invalidate a physical L2 line (and the L1 lines under it) in processor
    [victim]'s caches. Returns true if the dropped L2 copy was dirty. *)

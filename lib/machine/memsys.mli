@@ -72,6 +72,14 @@ val migrate_page : t -> page:int -> node:int -> unit
     [Pagetable.migrate] directly) leaves stale translations that the
     {!audit} translation-memo check flags. *)
 
+val migrate_pages : t -> (int * int) list -> (int, int) result
+(** Bulk scheduled migration: apply every [(page, node)] move in order —
+    all or nothing. Each move consults the fault plan's [migrate-fail]
+    counter; on an injected failure the moves already applied are migrated
+    back to their previous homes and [Error i] names the failed move, so
+    the caller observes either the complete new placement or the old one.
+    [Ok n] is the number of moves applied. *)
+
 val page_of_addr : t -> int -> int
 val home_of_addr : t -> int -> int option
 

@@ -22,9 +22,9 @@ type t = {
   lower : int array;
   mutable layout : Layout.t option;
   reshaped : bool;
-  storage : storage;
-  meta : int option;
-  canaries : (int * int) list;
+  mutable storage : storage;
+  mutable meta : int option;
+  mutable canaries : (int * int) list;
 }
 
 let default_lower extents = Array.map (fun _ -> 1) extents
@@ -146,18 +146,16 @@ let alloc_regular heap mem ~name ~elem ~extents ?lower ~kinds ?onto ~nprocs () =
     canaries = t.canaries @ meta_canaries;
   }
 
-let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
-    ~nprocs () =
-  ignore (Memsys.config mem);
-  let lower = match lower with Some l -> l | None -> default_lower extents in
-  let layout = Layout.make ~extents ~kinds ~nprocs ?onto () in
+(* Per-processor portion allocation for a reshaped layout: pool storage on
+   each owner's node, processor-pointer slots in the descriptor block, and
+   a trailing guard word after every portion. *)
+let alloc_portions heap pools ~name layout ~meta_base =
   let np = Layout.nprocs layout in
-  let ndims = Array.length extents in
-  let stor = Layout.storage_extents layout in
-  let portion_words = Array.fold_left ( * ) 1 stor in
-  (* descriptor block: distribution parameters + processor-pointer array *)
-  let meta_base, meta_canaries = alloc_meta heap ~name layout in
-  let canaries = ref meta_canaries in
+  let ndims = Array.length layout.Layout.extents in
+  let portion_words =
+    Array.fold_left ( * ) 1 (Layout.storage_extents layout)
+  in
+  let canaries = ref [] in
   let bases =
     Array.init np (fun p ->
         let base = Pools.alloc pools ~proc:p ~words:portion_words in
@@ -169,6 +167,18 @@ let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
         canaries := g :: !canaries;
         base)
   in
+  (bases, portion_words, !canaries)
+
+let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
+    ~nprocs () =
+  ignore (Memsys.config mem);
+  let lower = match lower with Some l -> l | None -> default_lower extents in
+  let layout = Layout.make ~extents ~kinds ~nprocs ?onto () in
+  (* descriptor block: distribution parameters + processor-pointer array *)
+  let meta_base, meta_canaries = alloc_meta heap ~name layout in
+  let bases, portion_words, portion_canaries =
+    alloc_portions heap pools ~name layout ~meta_base
+  in
   {
     name;
     elem;
@@ -178,7 +188,7 @@ let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
     reshaped = true;
     storage = Reshaped { meta_base; bases; portion_words };
     meta = Some meta_base;
-    canaries = !canaries;
+    canaries = portion_canaries @ meta_canaries;
   }
 
 (* Every word range this array owns: element storage (the descriptor block
@@ -232,32 +242,156 @@ let refill_meta heap t layout =
           Heap.set_int heap (meta_base + Meta.stor_off ~dim:d) stor.(d))
         layout.Layout.dims
 
-let redistribute t heap mem ~kinds ?onto ~nprocs () =
-  if t.reshaped then
-    Error
-      (Printf.sprintf "array %s: reshaped arrays cannot be redistributed" t.name)
-  else
-    match (t.layout, t.storage) with
-    | None, _ -> Error (Printf.sprintf "array %s: not a distributed array" t.name)
-    | Some _, Normal { base } ->
-        let layout = Layout.make ~extents:t.extents ~kinds ~nprocs ?onto () in
-        let homes = regular_page_homes mem layout ~base_word:base in
-        let moved = ref 0 in
-        let pt = Memsys.pagetable mem in
-        Hashtbl.iter
-          (fun pg node ->
-            match Pagetable.home_opt pt ~page:pg with
-            | Some cur when cur = node -> ()
-            | _ ->
-                (* migration allocates a fresh frame — go through Memsys so
-                   every TLB and translation memo drops the stale mapping *)
-                Memsys.migrate_page mem ~page:pg ~node;
-                incr moved)
-          homes;
-        t.layout <- Some layout;
-        refill_meta heap t layout;
-        Ok !moved
-    | Some _, Reshaped _ -> assert false
+(* ------------------------------------------------------------------ *)
+(* [c$redistribute]: transition the array to new distribution kinds (and
+   possibly a new processor count) under a minimal-communication schedule
+   computed closed-form by {!Redist}. *)
+
+type outcome = {
+  pages_moved : int;
+  words_moved : int;  (** data words that change home processor/node *)
+  total_words : int;  (** words touched at all (reshaped copies include
+                          the same-owner words; page moves touch nothing
+                          else) *)
+  rounds : int;
+  round_words : int;  (** sum over rounds of the largest transfer — the
+                          scheduled-time proxy the cost model charges *)
+}
+
+type progress = Moved of outcome | Busy
+
+(* Regular distribution: plan every page move first, then commit pages,
+   layout and descriptor together. The plan is ordered by the all-to-all
+   round schedule (nodes pair up round-robin), replacing the unordered
+   Hashtbl.iter of old — and because the bulk machine entry applies all
+   moves or none, an injected migration failure leaves placement, layout
+   and meta all on the OLD state ([Busy]), never a mix. *)
+let redistribute_regular t heap mem ~base ~layout =
+  let cfg = Memsys.config mem in
+  let page_words = cfg.Config.page_bytes / Heap.word_bytes in
+  let homes = regular_page_homes mem layout ~base_word:base in
+  let pt = Memsys.pagetable mem in
+  let moves =
+    Hashtbl.fold
+      (fun pg node acc ->
+        match Pagetable.home_opt pt ~page:pg with
+        | Some cur when cur = node -> acc
+        | cur -> (pg, Option.value ~default:0 cur, node) :: acc)
+      homes []
+  in
+  (* aggregate pages by (source node, dest node): one transfer per pair *)
+  let pairs = Hashtbl.create 16 in
+  List.iter
+    (fun (pg, src, dst) ->
+      Hashtbl.replace pairs (src, dst)
+        (pg :: Option.value ~default:[] (Hashtbl.find_opt pairs (src, dst))))
+    (List.sort compare moves);
+  let nnodes = Config.nnodes cfg in
+  let transfers =
+    Hashtbl.fold (fun (src, dst) pgs acc -> ((src, dst), pgs) :: acc) pairs []
+    |> List.map (fun ((src, dst), pgs) ->
+           (Redist.round_class ~r:nnodes ~src ~dst, (src, dst), List.rev pgs))
+    |> List.sort compare
+  in
+  let rounds = ref 0 and round_words = ref 0 and last_class = ref (-1) in
+  let round_max = ref 0 in
+  let plan =
+    List.concat_map
+      (fun (cls, (_, dst), pgs) ->
+        if cls <> !last_class then begin
+          last_class := cls;
+          incr rounds;
+          round_words := !round_words + !round_max;
+          round_max := 0
+        end;
+        round_max := max !round_max (List.length pgs * page_words);
+        List.map (fun pg -> (pg, dst)) pgs)
+      transfers
+  in
+  round_words := !round_words + !round_max;
+  match Memsys.migrate_pages mem plan with
+  | Error _ -> Ok Busy
+  | Ok moved ->
+      t.layout <- Some layout;
+      refill_meta heap t layout;
+      Ok
+        (Moved
+           {
+             pages_moved = moved;
+             words_moved = moved * page_words;
+             total_words = moved * page_words;
+             rounds = !rounds;
+             round_words = !round_words;
+           })
+
+(* Reshaped distribution: the portions themselves are rebuilt. Build the
+   new descriptor block and portions ASIDE (readers keep resolving
+   addresses through the old descriptor), copy every element under the
+   {!Redist} schedule, then install the new storage with one swap of the
+   host-side descriptor — the RCU pattern: no intermediate state is ever
+   observable, and a failure before the swap leaves the array untouched. *)
+let redistribute_reshaped t heap pools ~old_layout ~old_bases ~layout =
+  let sched = Redist.build ~src:old_layout ~dst:layout in
+  let meta_base, meta_canaries = alloc_meta heap ~name:t.name layout in
+  let bases, portion_words, portion_canaries =
+    alloc_portions heap pools ~name:t.name layout ~meta_base
+  in
+  let old_stor = Layout.storage_extents old_layout in
+  let new_stor = Layout.storage_extents layout in
+  let loclin stor offs =
+    let lin = ref 0 and stride = ref 1 in
+    Array.iteri
+      (fun d off ->
+        lin := !lin + (off * !stride);
+        stride := !stride * stor.(d))
+      offs;
+    !lin
+  in
+  let copy =
+    match t.elem with
+    | Real -> fun src dst -> Heap.set_real heap dst (Heap.get_real heap src)
+    | Int -> fun src dst -> Heap.set_int heap dst (Heap.get_int heap src)
+  in
+  for p = 0 to Layout.nprocs layout - 1 do
+    Layout.iter_portion layout ~proc:p (fun idx0 ->
+        let src =
+          old_bases.(Layout.owner old_layout idx0)
+          + loclin old_stor (Layout.offsets old_layout idx0)
+        in
+        copy src (bases.(p) + loclin new_stor (Layout.offsets layout idx0)))
+  done;
+  (* install: one host-side swap; old portions and descriptor stay valid
+     (and guarded) for any reader still holding the old addresses *)
+  t.storage <- Reshaped { meta_base; bases; portion_words };
+  t.meta <- Some meta_base;
+  t.layout <- Some layout;
+  t.canaries <- portion_canaries @ meta_canaries @ t.canaries;
+  Ok
+    (Moved
+       {
+         pages_moved = 0;
+         words_moved = sched.Redist.cross_words;
+         total_words = sched.Redist.total_words;
+         rounds = Redist.nrounds sched;
+         round_words = Redist.round_words sched;
+       })
+
+let redistribute t heap mem ?pools ~kinds ?onto ~nprocs () =
+  match (t.layout, t.storage) with
+  | None, _ -> Error (Printf.sprintf "array %s: not a distributed array" t.name)
+  | Some _, Normal { base } ->
+      let layout = Layout.make ~extents:t.extents ~kinds ~nprocs ?onto () in
+      redistribute_regular t heap mem ~base ~layout
+  | Some old_layout, Reshaped { bases = old_bases; _ } -> (
+      match pools with
+      | None ->
+          Error
+            (Printf.sprintf
+               "array %s: reshaped redistribution needs the storage pools"
+               t.name)
+      | Some pools ->
+          let layout = Layout.make ~extents:t.extents ~kinds ~nprocs ?onto () in
+          redistribute_reshaped t heap pools ~old_layout ~old_bases ~layout)
 
 (* Number of consecutive *global* elements, starting at [idx], that are
    stored contiguously: along the first dimension up to the end of the
@@ -277,11 +411,15 @@ let portion_run t idx =
   | Some l -> (
       let i0 = idx0.(0) in
       let dm = l.Layout.dims.(0) in
+      (* a chunk-sized run is clamped to the array tail: the last chunk of
+         a non-divisible extent is partial, and a run must never reach
+         past the end of the dimension *)
+      let tail = t.extents.(0) - i0 in
       match dm.Dim_map.kind with
-      | Kind.Star -> t.extents.(0) - i0
-      | Kind.Block -> dm.Dim_map.block - (i0 mod dm.Dim_map.block)
+      | Kind.Star -> tail
+      | Kind.Block -> min (dm.Dim_map.block - (i0 mod dm.Dim_map.block)) tail
       | Kind.Cyclic -> 1
-      | Kind.Cyclic_k k -> k - (i0 mod k))
+      | Kind.Cyclic_k k -> min (k - (i0 mod k)) tail)
 
 let word_addr t idx =
   let idx0 = zero_based t idx in

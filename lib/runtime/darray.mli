@@ -52,15 +52,19 @@ type t = {
   lower : int array;  (** per-dimension lower bounds *)
   mutable layout : Layout.t option;  (** [Some] iff distributed *)
   reshaped : bool;
-  storage : storage;
-  meta : int option;
+  mutable storage : storage;
+      (** mutable for the RCU install of {!redistribute}: a reshaped
+          relayout builds new portions and descriptor aside, then swaps
+          them in here in one step *)
+  mutable meta : int option;
       (** word address of the descriptor block; present for every
           distributed array (regular or reshaped) so compiled affinity
           scheduling can load [P] and [b] at runtime *)
-  canaries : (int * int) list;
+  mutable canaries : (int * int) list;
       (** guard words [(addr, pattern)] planted around every allocation
           this array owns (storage, descriptor block, reshaped portions);
-          checked by {!audit} *)
+          checked by {!audit}. Superseded allocations keep their guards —
+          the heap never reuses them. *)
 }
 
 val audit : t -> Heap.t -> Ddsm_check.Audit.violation list
@@ -84,13 +88,46 @@ val alloc_reshaped :
   extents:int array -> ?lower:int array -> kinds:Kind.t array ->
   ?onto:int array -> nprocs:int -> unit -> t
 
+type outcome = {
+  pages_moved : int;  (** regular arrays: pages migrated; reshaped: 0 *)
+  words_moved : int;  (** data words that change home processor/node *)
+  total_words : int;
+      (** words touched at all: a reshaped relayout copies every element
+          (same-owner ones included); a regular one touches only the
+          migrated pages *)
+  rounds : int;  (** all-to-all rounds of the communication schedule *)
+  round_words : int;
+      (** sum over rounds of the round's largest transfer — the
+          scheduled-time proxy the cost model charges (rounds are serial,
+          transfers within a round parallel) *)
+}
+
+type progress =
+  | Moved of outcome
+  | Busy
+      (** an injected page-migration failure aborted the attempt; every
+          already-applied move was rolled back, so placement, layout and
+          descriptor are all still the OLD state — retryable *)
+
 val redistribute :
-  t -> Heap.t -> Ddsm_machine.Memsys.t -> kinds:Kind.t array ->
-  ?onto:int array -> nprocs:int -> unit -> (int, string) result
-(** [c$redistribute]: re-home the pages of a regular distributed array for
-    new distribution kinds; returns the number of pages migrated. Errors on
-    reshaped arrays (§3.3 forbids redistribution of reshaped data) and on
-    plain arrays. *)
+  t -> Heap.t -> Ddsm_machine.Memsys.t -> ?pools:Pools.t ->
+  kinds:Kind.t array -> ?onto:int array -> nprocs:int -> unit ->
+  (progress, string) result
+(** [c$redistribute]: transition a distributed array to new distribution
+    kinds — and possibly a new processor count [nprocs] (resizable
+    onto-grid) — under the minimal-communication schedule of
+    {!Ddsm_dist.Redist}.
+
+    Regular arrays: every page move is planned first, ordered by the
+    round schedule, and applied through the bulk machine entry
+    ({!Ddsm_machine.Memsys.migrate_pages}); pages, layout and descriptor
+    commit together or not at all.
+
+    Reshaped arrays: the new portions and descriptor block are built
+    aside while readers keep resolving addresses through the old
+    descriptor, every element is copied under the schedule, and the new
+    storage is installed with one host-side swap (RCU). Requires
+    [pools]. Errors on plain (undistributed) arrays. *)
 
 val word_addr : t -> int array -> int
 (** Word address of an element (Fortran indices). For reshaped arrays this

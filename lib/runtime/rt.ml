@@ -1,6 +1,13 @@
 open Ddsm_machine
 
-type redist = { moved : int; retries : int; fell_back : bool }
+type redist = {
+  moved : int;
+  words : int;
+  rounds : int;
+  round_words : int;
+  retries : int;
+  fell_back : bool;
+}
 
 type t = {
   heap : Heap.t;
@@ -16,6 +23,7 @@ type t = {
   mutable barriers : int;
   mutable on_event :
     (name:string -> detail:string -> proc:int -> now:int -> unit) option;
+  mutable on_relayout : (Darray.t -> unit) option;
 }
 
 let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
@@ -43,6 +51,7 @@ let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
     job_procs;
     barriers = 0;
     on_event = None;
+    on_relayout = None;
   }
 
 let note_event t ~name ~detail ~proc ~now =
@@ -89,32 +98,66 @@ let declare_reshaped t ~name ~elem ~extents ?lower ~kinds ?onto () =
    keeping the old placement. *)
 let max_redist_attempts = 3
 
-let redistribute t ~name ~kinds ?onto () =
+let redistribute t ~name ~kinds ?onto ?procs () =
   match Hashtbl.find_opt t.arrays name with
   | None -> Error (Printf.sprintf "redistribute: unknown array %s" name)
   | Some a ->
       let fault = Memsys.fault t.mem in
-      (* Injected retryable failures (a busy OS refusing the migration):
-         retry with bounded attempts, and if every attempt fails fall back
-         to the old placement — the program stays correct, only slower. *)
+      (* onto-grid resize: the requested processor count is clamped to the
+         job's, so one program runs unchanged on any machine size (the
+         same start-up-time contract as [c$distribute] itself) *)
+      let nprocs =
+        match procs with
+        | None -> t.job_procs
+        | Some p -> max 1 (min p t.job_procs)
+      in
+      let fallback tries =
+        t.redist_fallbacks <- t.redist_fallbacks + 1;
+        Ok
+          {
+            moved = 0;
+            words = 0;
+            rounds = 0;
+            round_words = 0;
+            retries = tries;
+            fell_back = true;
+          }
+      in
+      (* Injected retryable failures — a whole attempt refused up front
+         (redist-fail) or a page migration failing mid-plan and rolling
+         back (migrate-fail): retry with bounded attempts, and if every
+         attempt fails fall back to the old placement — the program stays
+         correct, only slower. *)
       let rec go tries =
         let attempt = t.redist_attempts in
         t.redist_attempts <- attempt + 1;
-        if Ddsm_check.Fault.redist_attempt_fails fault ~attempt then
-          if tries + 1 >= max_redist_attempts then (
-            t.redist_fallbacks <- t.redist_fallbacks + 1;
-            Ok { moved = 0; retries = tries; fell_back = true })
+        let retry_or_fallback () =
+          if tries + 1 >= max_redist_attempts then fallback tries
           else (
             t.redist_retries <- t.redist_retries + 1;
             go (tries + 1))
+        in
+        if Ddsm_check.Fault.redist_attempt_fails fault ~attempt then
+          retry_or_fallback ()
         else
           match
-            Darray.redistribute a t.heap t.mem ~kinds ?onto
-              ~nprocs:t.job_procs ()
+            Darray.redistribute a t.heap t.mem ~pools:t.pools ~kinds ?onto
+              ~nprocs ()
           with
-          | Ok moved ->
-              t.redist_pages <- t.redist_pages + moved;
-              Ok { moved; retries = tries; fell_back = false }
+          | Ok Darray.Busy -> retry_or_fallback ()
+          | Ok (Darray.Moved o) ->
+              t.redist_pages <- t.redist_pages + o.Darray.pages_moved;
+              if a.Darray.reshaped then
+                Option.iter (fun f -> f a) t.on_relayout;
+              Ok
+                {
+                  moved = o.Darray.pages_moved;
+                  words = o.Darray.words_moved;
+                  rounds = o.Darray.rounds;
+                  round_words = o.Darray.round_words;
+                  retries = tries;
+                  fell_back = false;
+                }
           | Error _ as e -> e
       in
       go 0
@@ -126,10 +169,28 @@ let read t ~addr ~elem =
   | Darray.Real -> Heap.get_real t.heap addr
   | Darray.Int -> float_of_int (Heap.get_int t.heap addr)
 
+(* Real-to-integer element conversion: NaN has no integer value and
+   [int_of_float] on an out-of-range real is unspecified (it used to come
+   back as 0 or garbage silently); both must surface as runtime errors,
+   not as corrupted data. 2^62 is the first magnitude past [max_int]
+   exactly representable as a float; [-2^62] itself is [min_int]. *)
+let int_magnitude_bound = 4611686018427387904.0 (* 2^62 *)
+
+let int_of_real v =
+  if Float.is_nan v || v >= int_magnitude_bound || v < -.int_magnitude_bound
+  then None
+  else Some (int_of_float v)
+
 let write t ~addr ~elem v =
   match (elem : Darray.elem) with
   | Darray.Real -> Heap.set_real t.heap addr v
-  | Darray.Int -> Heap.set_int t.heap addr (int_of_float v)
+  | Darray.Int -> (
+      match int_of_real v with
+      | Some i -> Heap.set_int t.heap addr i
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Rt.write: %g has no integer value (NaN or out of range)" v))
 
 let audit t =
   let machine = Memsys.audit t.mem in

@@ -8,6 +8,11 @@ open Ddsm_machine
 
 type redist = {
   moved : int;  (** pages actually migrated (0 when [fell_back]) *)
+  words : int;  (** data words that changed home (0 when [fell_back]) *)
+  rounds : int;  (** all-to-all rounds of the communication schedule *)
+  round_words : int;
+      (** sum over rounds of the round's largest transfer — what the cost
+          model charges for the scheduled data movement *)
   retries : int;  (** failed attempts before this outcome *)
   fell_back : bool;
       (** every attempt failed; the old placement was kept — correct but
@@ -40,6 +45,11 @@ type t = {
           redistributions, injected redistribution failures) are announced
           here when installed — the engine points this at the profiler's
           event trace. [None] (the default) makes {!note_event} free. *)
+  mutable on_relayout : (Darray.t -> unit) option;
+      (** called after a reshaped array installs a new storage layout
+          (portions and descriptor replaced by {!redistribute}): observers
+          that hold the array's word ranges — profiler, sanitizer — must
+          learn the new ones. [None] by default. *)
 }
 
 val create :
@@ -84,14 +94,25 @@ val declare_reshaped :
   ?lower:int array -> kinds:Kind.t array -> ?onto:int array -> unit -> Darray.t
 
 val redistribute :
-  t -> name:string -> kinds:Kind.t array -> ?onto:int array -> unit ->
-  (redist, string) result
-(** Re-home a regular distributed array. The fault plan may inject
-    retryable failures: the call retries (bounded) and, if every attempt
-    fails, falls back to the old placement with [fell_back = true] — the
-    caller charges backoff cost per retry but the program's results are
-    unaffected. [Error] is reserved for real misuse (unknown, reshaped or
-    plain arrays). *)
+  t -> name:string -> kinds:Kind.t array -> ?onto:int array -> ?procs:int ->
+  unit -> (redist, string) result
+(** Transition a distributed array — regular (pages re-homed) or reshaped
+    (portions rebuilt and RCU-installed) — to new distribution kinds under
+    the minimal-communication schedule. [procs] resizes the onto-grid; it
+    is clamped to the job's processor count so one program runs on any
+    machine size. The fault plan may inject retryable failures, either
+    refusing a whole attempt ([redist-fail]) or failing a page migration
+    mid-plan ([migrate-fail], rolled back by the machine layer): the call
+    retries (bounded) and, if every attempt fails, falls back to the old
+    placement with [fell_back = true] — the caller charges backoff cost
+    per retry but the program's results are unaffected. [Error] is
+    reserved for real misuse (unknown or plain arrays). *)
+
+val int_of_real : float -> int option
+(** Checked real-to-integer element conversion: [None] for NaN and for
+    magnitudes past the integer range, instead of [int_of_float]'s silent
+    0/garbage. The VM and the fuzz reference interpreter both store
+    integer elements through this rule. *)
 
 val find_array : t -> string -> Darray.t option
 
@@ -100,6 +121,10 @@ val read : t -> addr:int -> elem:Darray.elem -> float
     untyped data path. *)
 
 val write : t -> addr:int -> elem:Darray.elem -> float -> unit
+(** Raw data write (no timing). Integer elements go through
+    {!int_of_real}; raises [Invalid_argument] when the value has no
+    integer representation (the VM's store path reports the located
+    runtime error before reaching here). *)
 
 val audit : t -> Ddsm_check.Audit.violation list
 (** Full runtime audit: the machine invariants ({!Memsys.audit}) plus the

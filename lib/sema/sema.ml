@@ -457,10 +457,17 @@ let rec check_stmt ctx (t : Stmt.t) : Stmt.t =
             | None ->
                 errf ctx loc "redistribute target %s is not a distributed array"
                   rd.Stmt.rarray
-            | Some { Decl.dreshape = true; _ } ->
-                errf ctx loc "reshaped array %s cannot be redistributed (§3.3)"
-                  rd.Stmt.rarray
             | Some _ ->
+                (* reshaped targets are legal since the redistribution
+                   engine: the runtime rebuilds the portions aside and
+                   installs them atomically. A FORMAL cannot be
+                   redistributed — the caller's actual keeps its own
+                   layout and the callee would silently diverge from it. *)
+                if ai.ai_formal then
+                  errf ctx loc
+                    "cannot redistribute formal argument %s: the layout \
+                     belongs to the caller's actual array"
+                    rd.Stmt.rarray;
                 if List.length rd.Stmt.rkinds <> List.length ai.ai_los then
                   errf ctx loc "redistribute of %s has wrong dimensionality"
                     rd.Stmt.rarray;
@@ -478,6 +485,13 @@ let rec check_stmt ctx (t : Stmt.t) : Stmt.t =
                     errf ctx loc
                       "onto clause of redistribute %s has a non-positive weight"
                       rd.Stmt.rarray
+                | _ -> ());
+                (match rd.Stmt.rprocs with
+                | Some p when p < 1 ->
+                    errf ctx loc
+                      "procs clause of redistribute %s must request at least \
+                       one processor (got %d)"
+                      rd.Stmt.rarray p
                 | _ -> ()))
         | _ -> errf ctx loc "redistribute target %s is not declared" rd.Stmt.rarray);
         Stmt.Redistribute rd

@@ -12,35 +12,63 @@ let cdiv_e a b =
   Expr.Idiv (Expr.Hw, Expr.Bin (Expr.Add, a, Expr.Bin (Expr.Sub, b, Expr.Int 1)), b)
 
 let owner_expr (a : Tctx.arr) ~dim ~i0 =
-  match a.Tctx.kinds.(dim) with
-  | K.Star -> Expr.Int 0
-  | K.Block -> Expr.Idiv (Expr.Hw, i0, meta_block a ~dim)
-  | K.Cyclic -> Expr.Imod (Expr.Hw, i0, meta_procs a ~dim)
-  | K.Cyclic_k k ->
-      Expr.Imod (Expr.Hw, Expr.Idiv (Expr.Hw, i0, Expr.Int k), meta_procs a ~dim)
+  if a.Tctx.dynamic then
+    (* kind-generic owner, valid for whatever layout the descriptor holds
+       after a redistribute: (i0 / b) mod P.  Block has b = ceil(N/P) so
+       i0/b < P already; cyclic has b = 1; cyclic(k) has b = k; star has
+       b = N with P = 1. *)
+    Expr.Imod
+      (Expr.Hw, Expr.Idiv (Expr.Hw, i0, meta_block a ~dim), meta_procs a ~dim)
+  else
+    match a.Tctx.kinds.(dim) with
+    | K.Star -> Expr.Int 0
+    | K.Block -> Expr.Idiv (Expr.Hw, i0, meta_block a ~dim)
+    | K.Cyclic -> Expr.Imod (Expr.Hw, i0, meta_procs a ~dim)
+    | K.Cyclic_k k ->
+        Expr.Imod
+          (Expr.Hw, Expr.Idiv (Expr.Hw, i0, Expr.Int k), meta_procs a ~dim)
 
 let offset_expr (a : Tctx.arr) ~dim ~i0 =
-  match a.Tctx.kinds.(dim) with
-  | K.Star -> i0
-  | K.Block -> Expr.Imod (Expr.Hw, i0, meta_block a ~dim)
-  | K.Cyclic -> Expr.Idiv (Expr.Hw, i0, meta_procs a ~dim)
-  | K.Cyclic_k k ->
-      Expr.Bin
-        ( Expr.Add,
-          Expr.Bin
-            ( Expr.Mul,
-              Expr.Idiv
-                ( Expr.Hw,
-                  i0,
-                  Expr.Bin (Expr.Mul, Expr.Int k, meta_procs a ~dim) ),
-              Expr.Int k ),
-          Expr.Imod (Expr.Hw, i0, Expr.Int k) )
+  if a.Tctx.dynamic then
+    (* kind-generic local offset: (i0 / (b*P))*b + i0 mod b.  Block: the
+       quotient is 0, leaving i0 mod b; cyclic: b = 1 leaves i0/P;
+       cyclic(k): cycle number times k plus position in the block; star:
+       b = N, P = 1 leaves i0. *)
+    let b = meta_block a ~dim in
+    Expr.Bin
+      ( Expr.Add,
+        Expr.Bin
+          ( Expr.Mul,
+            Expr.Idiv (Expr.Hw, i0, Expr.Bin (Expr.Mul, b, meta_procs a ~dim)),
+            b ),
+        Expr.Imod (Expr.Hw, i0, b) )
+  else
+    match a.Tctx.kinds.(dim) with
+    | K.Star -> i0
+    | K.Block -> Expr.Imod (Expr.Hw, i0, meta_block a ~dim)
+    | K.Cyclic -> Expr.Idiv (Expr.Hw, i0, meta_procs a ~dim)
+    | K.Cyclic_k k ->
+        Expr.Bin
+          ( Expr.Add,
+            Expr.Bin
+              ( Expr.Mul,
+                Expr.Idiv
+                  ( Expr.Hw,
+                    i0,
+                    Expr.Bin (Expr.Mul, Expr.Int k, meta_procs a ~dim) ),
+                Expr.Int k ),
+            Expr.Imod (Expr.Hw, i0, Expr.Int k) )
 
 (* owner and offset for one dimension, honouring a binding when the
    subscript is affine (s=1) in the bound variable *)
 let dim_parts (a : Tctx.arr) binds ~dim ~sub =
   let i0 = Expr.Bin (Expr.Sub, sub, Expr.Int a.Tctx.lowers.(dim)) in
   let general () = (owner_expr a ~dim ~i0, offset_expr a ~dim ~i0) in
+  (* a redistributable array never takes a strength-reduced binding: the
+     binding encodes the compile-time block layout, which a redistribute
+     invalidates (another array of the same group may still own one) *)
+  if a.Tctx.dynamic then general ()
+  else
   match List.assoc_opt (a.Tctx.group, dim) binds with
   | None -> general ()
   | Some { bvar; bowner; bonly_n } -> (
@@ -78,8 +106,12 @@ let address (a : Tctx.arr) binds ~subs =
   in
   let proc_strides =
     List.init nd (fun d ->
-        (* a '*' dimension statically contributes stride 1 *)
-        if a.Tctx.kinds.(d) = K.Star then Expr.Int 1 else meta_procs a ~dim:d)
+        (* a '*' dimension statically contributes stride 1 — unless the
+           array is redistributable, in which case the dimension may stop
+           being '*' at run time (a star dimension's descriptor procs is 1,
+           so the generic stride is still exact) *)
+        if a.Tctx.kinds.(d) = K.Star && not a.Tctx.dynamic then Expr.Int 1
+        else meta_procs a ~dim:d)
   in
   let stor_strides = List.init nd (fun d -> meta_stor a ~dim:d) in
   let linear_owner = Expr.simplify (horner owners proc_strides) in

@@ -78,8 +78,11 @@ let round ctx (block : Stmt.t list) : Stmt.t list option =
   let best = ref None in
   Hashtbl.iter
     (fun c () ->
-      (* walk the block accumulating kill-free segments *)
+      (* walk the block accumulating kill-free segments; a c$redistribute of
+         an array the candidate consults ([Meta]/[BaseOf]) kills it too — its
+         descriptor values change at that point *)
       let fv = Expr.free_vars c in
+      let ma = Hoist.meta_arrays c in
       let seg_start = ref 0 and seg_count = ref 0 in
       let consider i =
         if !seg_count >= 2 then
@@ -93,7 +96,12 @@ let round ctx (block : Stmt.t list) : Stmt.t list option =
         (fun i t ->
           let n = List.fold_left (fun acc e -> acc + count_in c e) 0 (shallow_exprs t) in
           seg_count := !seg_count + n;
-          if List.exists (fun v -> List.mem v fv) (kills t) then begin
+          if
+            List.exists (fun v -> List.mem v fv) (kills t)
+            || List.exists
+                 (fun a -> List.mem a ma)
+                 (Hoist.redistributed_arrays t)
+          then begin
             consider (i + 1);
             seg_start := i + 1;
             seg_count := 0

@@ -19,10 +19,36 @@ let reads_memory e =
 
 let has_string e = Expr.exists (function Expr.Str _ -> true | _ -> false) e
 
-let invariant ~killed e =
+(* Arrays whose layout a statement may change: any c$redistribute reachable
+   inside [t], including nested bodies. [Meta]/[BaseOf] of such an array read
+   the live layout tables, so they are not invariant across the statement. *)
+let rec redistributed_arrays (t : Stmt.t) =
+  match t.Stmt.s with
+  | Stmt.Redistribute r -> [ r.Stmt.rarray ]
+  | Stmt.Do d -> List.concat_map redistributed_arrays d.Stmt.body
+  | Stmt.If (_, th, el) ->
+      List.concat_map redistributed_arrays th
+      @ List.concat_map redistributed_arrays el
+  | Stmt.Par p -> List.concat_map redistributed_arrays p.Stmt.pbody
+  | Stmt.Doacross da -> List.concat_map redistributed_arrays da.Stmt.loop.Stmt.body
+  | _ -> []
+
+(* Arrays whose layout tables an expression consults. *)
+let meta_arrays e =
+  let acc = ref [] in
+  Expr.iter
+    (function
+      | Expr.Meta (a, _) | Expr.BaseOf (a, _) ->
+          if not (List.mem a !acc) then acc := a :: !acc
+      | _ -> ())
+    e;
+  !acc
+
+let invariant ~killed ~relaid e =
   (not (reads_memory e))
   && (not (has_string e))
   && List.for_all (fun v -> not (List.mem v killed)) (Expr.free_vars e)
+  && List.for_all (fun a -> not (List.mem a relaid)) (meta_arrays e)
 
 let size e =
   let n = ref 0 in
@@ -34,14 +60,14 @@ let size e =
    — the job of the "regular loop-nest optimizations" the reshaped code is
    integrated with (§7.4 step 2). Without (b), lowered address arithmetic
    would be recomputed per iteration, which no production compiler does. *)
-let hoistable ~killed e =
-  invariant ~killed e
+let hoistable ~killed ~relaid e =
+  invariant ~killed ~relaid e
   && (contains_expensive e || size e >= 3)
   && (match e with Expr.Int _ | Expr.Real _ | Expr.Var _ -> false | _ -> true)
 
 (* Replace maximal hoistable subtrees top-down; records (temp, expr) pairs. *)
-let rec extract ctx ~killed ~acc (e : Expr.t) : Expr.t =
-  if hoistable ~killed e then begin
+let rec extract ctx ~killed ~relaid ~acc (e : Expr.t) : Expr.t =
+  if hoistable ~killed ~relaid e then begin
     (* reuse a temp if the same expression was already extracted *)
     match List.assoc_opt e !acc with
     | Some tv -> Expr.Var tv
@@ -51,7 +77,7 @@ let rec extract ctx ~killed ~acc (e : Expr.t) : Expr.t =
         Expr.Var tv
   end
   else
-    let r = extract ctx ~killed ~acc in
+    let r = extract ctx ~killed ~relaid ~acc in
     match e with
     | Expr.Int _ | Expr.Real _ | Expr.Str _ | Expr.Var _ | Expr.Meta _ -> e
     | Expr.Ref (a, subs) -> Expr.Ref (a, List.map r subs)
@@ -99,10 +125,11 @@ and hoist_stmt ctx (t : Stmt.t) : Stmt.t list =
   match t.Stmt.s with
   | Stmt.Do d ->
       let killed = d.Stmt.var :: Stmt.assigned_vars d.Stmt.body in
+      let relaid = List.concat_map redistributed_arrays d.Stmt.body in
       let acc = ref [] in
       let body' =
         List.map
-          (fun s -> map_exprs_no_par (fun e -> extract ctx ~killed ~acc e) s)
+          (fun s -> map_exprs_no_par (fun e -> extract ctx ~killed ~relaid ~acc e) s)
           d.Stmt.body
       in
       let pre =

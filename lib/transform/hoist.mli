@@ -17,3 +17,13 @@ val routine : Tctx.t -> Ddsm_ir.Decl.routine -> Ddsm_ir.Decl.routine
 val contains_expensive : Ddsm_ir.Expr.t -> bool
 (** True when the expression contains a descriptor load, an indirect
     base-pointer load, or an integer div/mod (shared with the CSE pass). *)
+
+val redistributed_arrays : Ddsm_ir.Stmt.t -> string list
+(** Arrays whose layout the statement may change: targets of any
+    [c$redistribute] reachable inside it, including nested bodies. [Meta] and
+    [BaseOf] reads of such an array are not invariant across the statement
+    (shared with the CSE pass, which must not cache descriptor loads across a
+    redistribution). *)
+
+val meta_arrays : Ddsm_ir.Expr.t -> string list
+(** Arrays whose layout tables ([Meta]/[BaseOf]) the expression consults. *)

@@ -86,6 +86,9 @@ let find_candidates st binds ~var body =
     (fun (name, subs) ->
       match Tctx.reshaped st.ctx name with
       | None -> ()
+      (* a redistributable array's block boundaries are not compile-time
+         facts, so it can neither drive nor share a tiled schedule *)
+      | Some a when a.Tctx.dynamic -> ()
       | Some a ->
           List.iteri
             (fun dim s ->
@@ -646,6 +649,19 @@ and schedule_affinity st binds loc (da : Stmt.doacross) nest aff =
     List.fold_left
       (fun acc g -> [ Stmt.mk ~loc (Stmt.If (g, acc, [])) ])
       loops guards
+  in
+  (* a redistributable array's onto-grid may have been shrunk below the
+     worker count by a procs(n) clause; the generic decomposition then
+     wraps the surplus worker ids back onto the grid, so those workers
+     (left with a non-zero remainder) must sit the nest out rather than
+     duplicate the low-id workers' iterations *)
+  let body =
+    if dynamic then
+      [
+        Stmt.mk ~loc
+          (Stmt.If (Expr.Rel (Expr.Eq, Expr.Var rem, int 0), body, []));
+      ]
+    else body
   in
   [ Stmt.mk ~loc (Stmt.Par { Stmt.pbody = decomp @ body }) ]
 

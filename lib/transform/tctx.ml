@@ -5,6 +5,7 @@ type arr = {
   name : string;
   kinds : Ddsm_dist.Kind.t array;
   reshape : bool;
+  dynamic : bool;
   lowers : int array;
   extents : int array option;
   ty : Types.ty;
@@ -68,6 +69,7 @@ let create env =
               name;
               kinds;
               reshape = d.Decl.dreshape;
+              dynamic = Hashtbl.mem dynamic name;
               lowers;
               extents;
               ty = ai.Sema.ai_ty;

@@ -7,6 +7,10 @@ type arr = {
   name : string;
   kinds : Ddsm_dist.Kind.t array;
   reshape : bool;
+  dynamic : bool;
+      (** target of a [c$redistribute] in this routine: the declared [kinds]
+          only describe the initial layout, so codegen must address through
+          the run-time descriptor with kind-generic forms *)
   lowers : int array;  (** constant lower bounds (reshaped codegen needs them) *)
   extents : int array option;  (** constant extents when known *)
   ty : Types.ty;

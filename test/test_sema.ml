@@ -137,17 +137,29 @@ c$distribute_reshape a(block)
 |})
 
 let test_redistribute_legality () =
-  analyse_err ~expect:"cannot be redistributed"
-    (wrap
-       {|
+  (* PR 8: reshaped arrays redistribute via copy-then-install *)
+  ignore
+    (analyse_ok
+       (wrap
+          {|
       real*8 a(8)
 c$distribute_reshape a(block)
 c$redistribute a(cyclic)
-|});
+|}));
   analyse_err ~expect:"not a distributed array"
     (wrap {|
       real*8 a(8)
 c$redistribute a(cyclic)
+|});
+  analyse_err ~expect:"formal argument"
+    "      subroutine s(a)\n      real*8 a(8)\nc$distribute a(block)\n\
+     c$redistribute a(cyclic)\n      end\n";
+  analyse_err ~expect:"at least one processor"
+    (wrap
+       {|
+      real*8 a(8)
+c$distribute a(block)
+c$redistribute a(cyclic) procs(0)
 |});
   ignore
     (analyse_ok
@@ -155,7 +167,7 @@ c$redistribute a(cyclic)
           {|
       real*8 a(8)
 c$distribute a(block)
-c$redistribute a(cyclic)
+c$redistribute a(cyclic) procs(3)
 |}))
 
 let test_affinity_legality () =
@@ -442,10 +454,10 @@ let sema_reject_table =
     ( "scalar in common block",
       "      program p\n      real*8 x\n      common /cb/ x\n      end\n",
       "only arrays are supported in common blocks" );
-    ( "redistribute of reshaped array",
-      "      program p\n      real*8 a(8)\nc$distribute_reshape a(block)\n\
-       c$redistribute a(cyclic)\n      end\n",
-      "cannot be redistributed" );
+    ( "redistribute onto zero processors",
+      "      program p\n      real*8 a(8)\nc$distribute a(block)\n\
+       c$redistribute a(cyclic) procs(0)\n      end\n",
+      "at least one processor" );
     ( "redistribute of undistributed array",
       "      program p\n      real*8 a(8)\nc$redistribute a(cyclic)\n      end\n",
       "not a distributed array" );
