@@ -10,7 +10,7 @@ module Ddsm = Ddsm_core.Ddsm
 module Flags = Ddsm_core.Ddsm.Flags
 
 let flags_term =
-  let mk tile peel skew hoist cse fp inter no_opt =
+  let mk tile peel skew hoist cse fp inter insp no_opt =
     if no_opt then Flags.all_off
     else
       {
@@ -21,6 +21,7 @@ let flags_term =
         cse = not cse;
         fp_divmod = not fp;
         interchange = not inter;
+        inspector = not insp;
       }
   in
   Term.(
@@ -32,6 +33,10 @@ let flags_term =
     $ Arg.(value & flag & info [ "no-cse" ] ~doc:"Disable §7.2 CSE.")
     $ Arg.(value & flag & info [ "no-fp-divmod" ] ~doc:"Disable §7.3 FP div/mod.")
     $ Arg.(value & flag & info [ "no-interchange" ] ~doc:"Disable §7.1.1 interchange.")
+    $ Arg.(
+        value & flag
+        & info [ "no-inspector" ]
+            ~doc:"Disable the inspector-executor transformation of irregular (indirect-subscript) loops.")
     $ Arg.(value & flag & info [ "O0" ] ~doc:"Disable all reshaped-array optimizations."))
 
 (* Exit codes, matching pflrun: 1 = usage / IO (unreadable input,

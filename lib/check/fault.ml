@@ -6,6 +6,7 @@ type t = {
   tlb_flush_period : int;
   redist_fail : int;
   migrate_fail : int;
+  gather_fail : int;
   lose_wakeup : int;
   drop_barrier : int;
 }
@@ -19,6 +20,7 @@ let none =
     tlb_flush_period = 0;
     redist_fail = 0;
     migrate_fail = 0;
+    gather_fail = 0;
     lose_wakeup = 0;
     drop_barrier = 0;
   }
@@ -27,7 +29,7 @@ let is_none t = t = none
 
 let make ?(seed = 0) ?(slow_nodes = []) ?(hot_dirs = []) ?(slow_links = [])
     ?(tlb_flush_period = 0) ?(redist_fail = 0) ?(migrate_fail = 0)
-    ?(lose_wakeup = 0) ?(drop_barrier = 0) () =
+    ?(gather_fail = 0) ?(lose_wakeup = 0) ?(drop_barrier = 0) () =
   List.iter
     (fun (_, x) -> if x < 0 then invalid_arg "Fault.make: negative extra cycles")
     (slow_nodes @ hot_dirs);
@@ -35,7 +37,7 @@ let make ?(seed = 0) ?(slow_nodes = []) ?(hot_dirs = []) ?(slow_links = [])
     (fun (_, x) -> if x < 0 then invalid_arg "Fault.make: negative extra cycles")
     slow_links;
   if tlb_flush_period < 0 || redist_fail < 0 || migrate_fail < 0
-     || lose_wakeup < 0 || drop_barrier < 0
+     || gather_fail < 0 || lose_wakeup < 0 || drop_barrier < 0
   then invalid_arg "Fault.make: negative parameter";
   {
     seed;
@@ -45,6 +47,7 @@ let make ?(seed = 0) ?(slow_nodes = []) ?(hot_dirs = []) ?(slow_links = [])
     tlb_flush_period;
     redist_fail;
     migrate_fail;
+    gather_fail;
     lose_wakeup;
     drop_barrier;
   }
@@ -88,6 +91,7 @@ let random ~seed ~nnodes =
     tlb_flush_period;
     redist_fail;
     migrate_fail = 0;
+    gather_fail = 0;
     lose_wakeup = 0;
     drop_barrier = 0;
   }
@@ -119,6 +123,12 @@ let redist_attempt_fails t ~attempt = attempt >= 0 && attempt < t.redist_fail
    MIDDLE of a planned bulk migration and exercises the rollback path. *)
 let migration_fails t ~migration =
   t.migrate_fail > 0 && migration >= t.migrate_fail - 1
+
+(* Bulk gather fetches fail from the Nth one on (1-based, machine-wide
+   counter), so the failure lands mid-run once schedules are warm and
+   exercises the retry-then-per-element-fallback path persistently. *)
+let gather_fetch_fails t ~fetch =
+  t.gather_fail > 0 && fetch >= t.gather_fail - 1
 let wakeup_lost t ~wakeup = t.lose_wakeup > 0 && wakeup = t.lose_wakeup
 let barrier_dropped t ~barrier = t.drop_barrier > 0 && barrier = t.drop_barrier
 
@@ -143,6 +153,9 @@ let to_spec t =
          else [])
       @ (if t.migrate_fail > 0 then
            [ Printf.sprintf "migrate-fail=%d" t.migrate_fail ]
+         else [])
+      @ (if t.gather_fail > 0 then
+           [ Printf.sprintf "gather-fail=%d" t.gather_fail ]
          else [])
       @ (if t.lose_wakeup > 0 then
            [ Printf.sprintf "lose-wakeup=%d" t.lose_wakeup ]
@@ -205,6 +218,10 @@ let of_spec s =
                   match int_v () with
                   | Some n when n >= 0 -> go { acc with migrate_fail = n } rest
                   | _ -> err "fault spec: migrate-fail=%S wants a count >= 0" v)
+              | "gather-fail" -> (
+                  match int_v () with
+                  | Some n when n >= 0 -> go { acc with gather_fail = n } rest
+                  | _ -> err "fault spec: gather-fail=%S wants a count >= 0" v)
               | "lose-wakeup" -> (
                   match int_v () with
                   | Some n when n >= 0 -> go { acc with lose_wakeup = n } rest

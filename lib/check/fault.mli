@@ -42,6 +42,13 @@ type t = {
           {!random} — the failure is persistent, so a redistribute under
           this clause always falls back to the old placement (correct,
           only slower). *)
+  gather_fail : int;
+      (** bulk gather fetches (the inspector-executor's per-home transfers)
+          fail from the Nth one on (1-based, machine-wide counter): the
+          runtime retries with bounded attempts and then falls back to
+          per-element fetches — homes and results unchanged, only slower;
+          0 = off. Never chosen by {!random} (the failure is
+          persistent). *)
   lose_wakeup : int;
       (** chaos (not performance-side): drop the Nth memory-completion
           wakeup so the program deadlocks; 0 = off. For watchdog tests. *)
@@ -65,6 +72,7 @@ val make :
   ?tlb_flush_period:int ->
   ?redist_fail:int ->
   ?migrate_fail:int ->
+  ?gather_fail:int ->
   ?lose_wakeup:int ->
   ?drop_barrier:int ->
   unit ->
@@ -100,6 +108,10 @@ val migration_fails : t -> migration:int -> bool
 (** Does page migration number [migration] (0-based, machine-wide) fail?
     True from the [migrate_fail]-th migration (1-based) on. *)
 
+val gather_fetch_fails : t -> fetch:int -> bool
+(** Does bulk gather fetch number [fetch] (1-based, machine-wide) fail
+    retryably? True from the [gather_fail]-th fetch on. *)
+
 val wakeup_lost : t -> wakeup:int -> bool
 (** Chaos: is memory-completion wakeup number [wakeup] (1-based,
     machine-wide) dropped? *)
@@ -121,6 +133,7 @@ val of_spec : string -> (t, string) result
     - [tlb=PERIOD]
     - [redist-fail=N]
     - [migrate-fail=N]
+    - [gather-fail=N]
     - [lose-wakeup=N]
     - [drop-barrier=N]
     - [random=SEED:NNODES] (expands to {!random}; other clauses override)

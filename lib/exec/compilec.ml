@@ -5,6 +5,7 @@ module Darray = Ddsm_runtime.Darray
 module Rt = Ddsm_runtime.Rt
 module Heap = Ddsm_runtime.Heap
 module Argcheck = Ddsm_runtime.Argcheck
+module Memsys = Ddsm_machine.Memsys
 module Layout = Ddsm_dist.Layout
 module Dim_map = Ddsm_dist.Dim_map
 module Grid = Ddsm_dist.Grid
@@ -131,7 +132,9 @@ let rec ety renv (e : Expr.t) : Types.ty =
       | Some { Intrinsics.result = `Same; _ } ->
           List.fold_left (fun acc a -> promote acc (ety renv a)) Types.Tint args
       | None -> Types.Tint)
-  | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _ -> Types.Tint
+  | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _
+  | Expr.GatherBase _ ->
+      Types.Tint
   | Expr.AbsLoad (ty, _) -> ty
 
 (* ------------------------------------------------------------------ *)
@@ -287,6 +290,27 @@ let rec compile_i renv (e : Expr.t) : (ctx -> int) * int =
             if d <= 0 then Eff.error "imod by non-positive value";
             Ddsm_dist.Intmath.fmod (fa ctx) d),
           ca + cb + cost )
+    | Expr.GatherBase id ->
+        (* scratch base of the gather site; defined once the dominating
+           [Stmt.Gather] has executed. Free: the executor's address math
+           around it is charged through the enclosing [AbsLoad]. *)
+        let key = renv.rname ^ "#" ^ string_of_int id in
+        let rt = renv.g.rt in
+        let site = ref None in
+        ( (fun _ ->
+            let s =
+              match !site with
+              | Some s -> s
+              | None ->
+                  let s = Rt.gather_site rt ~key in
+                  site := Some s;
+                  s
+            in
+            if s.Rt.gs_scratch < 0 then
+              Eff.error "internal: gather site %s read before its inspector"
+                key;
+            s.Rt.gs_scratch),
+          0 )
     | Expr.Meta (name, field) ->
         let aslot = arr_slot renv name in
         ( load_int renv.g (fun ctx ->
@@ -518,7 +542,8 @@ let rec stmts_shardable stmts =
   List.for_all
     (fun (t : Stmt.t) ->
       match t.Stmt.s with
-      | Stmt.Call _ | Stmt.Barrier | Stmt.Redistribute _ | Stmt.Doacross _ ->
+      | Stmt.Call _ | Stmt.Barrier | Stmt.Redistribute _ | Stmt.Doacross _
+      | Stmt.Gather _ ->
           false
       | Stmt.Do d -> stmts_shardable d.Stmt.body
       | Stmt.If (_, th, el) -> stmts_shardable th && stmts_shardable el
@@ -559,6 +584,14 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             ctx.frame.Frame.floats.(i) <- f ctx)
   | Stmt.Assign (Stmt.LRef (a, subs), e) -> (
       let addrf, ca = ref_addr renv a subs in
+      let aslot = arr_slot renv a in
+      (* write-generation bump: cached gather schedules over this array
+         key on the version and must re-inspect after any visible store *)
+      let bump ctx =
+        match ctx.frame.Frame.arrays.(aslot).Frame.ab_darr with
+        | Some d -> Darray.bump_version d
+        | None -> ()
+      in
       match array_elem_ty renv a with
       | Types.Treal ->
           let f, ce = compile_f renv e in
@@ -568,7 +601,8 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             let v = f ctx in
             let addr = addrf ctx in
             Effect.perform (Eff.Mem (ctx.ws, addr, true));
-            Heap.set_real renv.g.rt.Rt.heap addr v
+            Heap.set_real renv.g.rt.Rt.heap addr v;
+            bump ctx
       | Types.Tint when ety renv e = Types.Treal ->
           let f, ce = compile_f renv e in
           let c = ca + ce + Costs.assign + Costs.alu in
@@ -577,7 +611,8 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             let v = int_elem_of_real a (f ctx) in
             let addr = addrf ctx in
             Effect.perform (Eff.Mem (ctx.ws, addr, true));
-            Heap.set_int renv.g.rt.Rt.heap addr v
+            Heap.set_int renv.g.rt.Rt.heap addr v;
+            bump ctx
       | Types.Tint ->
           let f, ce = compile_i renv e in
           let c = ca + ce + Costs.assign in
@@ -586,7 +621,8 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
             let v = f ctx in
             let addr = addrf ctx in
             Effect.perform (Eff.Mem (ctx.ws, addr, true));
-            Heap.set_int renv.g.rt.Rt.heap addr v)
+            Heap.set_int renv.g.rt.Rt.heap addr v;
+            bump ctx)
   | Stmt.AbsStore (ty, aexp, e) -> (
       let addrf, ca0 = compile_i renv aexp in
       let ca = max 0 (ca0 - alu_discount aexp) + Costs.addressing in
@@ -687,6 +723,7 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
                    rounds retries)
               ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
         | Error m -> Eff.error "%s" m)
+  | Stmt.Gather gth -> compile_gather renv gth
   | Stmt.Continue -> fun _ -> ()
   | Stmt.Barrier ->
       fun ctx ->
@@ -743,6 +780,229 @@ and compile_stmt renv (t : Stmt.t) : ctx -> unit =
                  region,
                  shardable ))
         end
+
+(* ------------------------------------------------------------------ *)
+(* Inspector-executor gather (Stmt.Gather, serial context only).
+
+   On a schedule-cache miss — keyed on (index-array version, target
+   version, evaluated rectangle bounds) — the inspector walks the
+   iteration rectangle once, reads the index vector through ordinary
+   timed accesses, computes each referenced target address with the SAME
+   base/lower/stride arithmetic as the naive reference path (bit-faithful,
+   including the bounds-mode error), and bins the accesses by (source
+   home, scratch home) into an all-to-all round schedule.
+
+   On EVERY execution the current target values move into scratch: one
+   bulk fetch charged by the round schedule, or — when the fault plan
+   fails the fetch past the bounded retries — a per-element fallback
+   through ordinary timed loads. Either way the scratch holds the same
+   values, so results never depend on the fault plan. *)
+
+and max_gather_attempts = 3
+
+and compile_gather renv (gth : Stmt.gather) : ctx -> unit =
+  let g = renv.g in
+  let key = renv.rname ^ "#" ^ string_of_int gth.Stmt.g_id in
+  let tslot = arr_slot renv gth.Stmt.g_target in
+  let islot = arr_slot renv gth.Stmt.g_index in
+  let tq = qualified_array renv gth.Stmt.g_target in
+  let dims =
+    Array.of_list
+      (List.map
+         (fun (v, lo, hi) ->
+           let slot =
+             match slot_for renv v ~ty:Types.Tint with
+             | SInt i -> i
+             | SFloat _ ->
+                 Eff.error "gather: loop variable %s is not an integer" v
+           in
+           (slot, fst (compile_i renv lo), fst (compile_i renv hi)))
+         gth.Stmt.g_dims)
+  in
+  let ndims = Array.length dims in
+  let isubfs =
+    Array.of_list
+      (List.map (fun e -> fst (compile_i renv e)) gth.Stmt.g_isubs)
+  in
+  let isubcost =
+    List.fold_left
+      (fun acc e -> acc + max 0 (snd (compile_i renv e) - alu_discount e))
+      0 gth.Stmt.g_isubs
+  in
+  let nisubs = Array.length isubfs in
+  let scale = gth.Stmt.g_scale and off = gth.Stmt.g_off in
+  let bounds = g.bounds in
+  let target = gth.Stmt.g_target and index = gth.Stmt.g_index in
+  let real_elems = array_elem_ty renv target = Types.Treal in
+  fun ctx ->
+    let rt = g.rt in
+    let tab = ctx.frame.Frame.arrays.(tslot) in
+    let iab = ctx.frame.Frame.arrays.(islot) in
+    let td =
+      match tab.Frame.ab_darr with
+      | Some d -> d
+      | None -> Eff.error "internal: gather target %s has no descriptor" target
+    in
+    let idd =
+      match iab.Frame.ab_darr with
+      | Some d -> d
+      | None -> Eff.error "internal: gather index %s has no descriptor" index
+    in
+    let los = Array.make (max 1 ndims) 0 and his = Array.make (max 1 ndims) 0 in
+    let nslots = ref 1 in
+    Array.iteri
+      (fun d (_, flo, fhi) ->
+        let lo = flo ctx and hi = fhi ctx in
+        los.(d) <- lo;
+        his.(d) <- hi;
+        nslots := !nslots * max 0 (hi - lo + 1))
+      dims;
+    let nslots = !nslots in
+    let site = Rt.gather_site rt ~key in
+    if nslots = 0 then begin
+      (* empty rectangle: the executor never runs, but its [GatherBase]
+         is still compiled — leave a harmless base in place *)
+      if site.Rt.gs_scratch < 0 then site.Rt.gs_scratch <- 0
+    end
+    else begin
+      let keynow =
+        (idd.Darray.version, td.Darray.version, Array.append los his)
+      in
+      (match site.Rt.gs_key with
+      | Some k when k = keynow -> ()
+      | _ ->
+          (* cache miss: inspect. The index vector is read through
+             ordinary timed accesses — inspection is real work the
+             benchmark must see; repeated sweeps then hit the cache. *)
+          rt.Rt.gather_inspections <- rt.Rt.gather_inspections + 1;
+          if site.Rt.gs_cap < nslots then begin
+            site.Rt.gs_scratch <-
+              Rt.alloc_gather_scratch rt ~src_array:tq ~words:nslots;
+            site.Rt.gs_cap <- nslots
+          end;
+          if Array.length site.Rt.gs_addrs < nslots then
+            site.Rt.gs_addrs <- Array.make nslots 0;
+          let addrs = site.Rt.gs_addrs in
+          let ints = ctx.frame.Frame.ints in
+          let mem = rt.Rt.mem in
+          let nnodes = Ddsm_machine.Config.nnodes (Memsys.config mem) in
+          let scratch = site.Rt.gs_scratch in
+          (* (round class, src node, dst node) -> words of that transfer *)
+          let pairs : (int * int * int, int ref) Hashtbl.t =
+            Hashtbl.create 16
+          in
+          let slot = ref 0 in
+          let rec walk d =
+            if d = ndims then begin
+              charge (Costs.gather_inspect + isubcost) ctx.ws;
+              let iaddr = ref iab.Frame.ab_base in
+              for j = 0 to nisubs - 1 do
+                let x = isubfs.(j) ctx - iab.Frame.ab_lowers.(j) in
+                if bounds && (x < 0 || x >= iab.Frame.ab_extents.(j)) then
+                  Eff.error "array %s: subscript %d out of bounds in dim %d"
+                    index (isubfs.(j) ctx) (j + 1);
+                iaddr := !iaddr + (x * iab.Frame.ab_strides.(j))
+              done;
+              let iaddr = !iaddr in
+              Effect.perform (Eff.Mem (ctx.ws, iaddr, false));
+              let ival = Heap.get_int rt.Rt.heap iaddr in
+              let sub = (scale * ival) + off in
+              let x = sub - tab.Frame.ab_lowers.(0) in
+              if bounds && (x < 0 || x >= tab.Frame.ab_extents.(0)) then
+                Eff.error "array %s: subscript %d out of bounds in dim %d"
+                  target sub 1;
+              let taddr = tab.Frame.ab_base + (x * tab.Frame.ab_strides.(0)) in
+              addrs.(!slot) <- taddr;
+              let home a =
+                Option.value ~default:0
+                  (Memsys.home_of_addr mem (Heap.byte_of_word a))
+              in
+              let src = home taddr and dst = home (scratch + !slot) in
+              let cls = Ddsm_dist.Redist.round_class ~r:nnodes ~src ~dst in
+              (match Hashtbl.find_opt pairs (cls, src, dst) with
+              | Some r -> incr r
+              | None -> Hashtbl.replace pairs (cls, src, dst) (ref 1));
+              incr slot
+            end
+            else begin
+              let vslot, _, _ = dims.(d) in
+              for i = los.(d) to his.(d) do
+                ints.(vslot) <- i;
+                walk (d + 1)
+              done
+            end
+          in
+          (* the walk drives the loop variables through the serial frame;
+             restore them afterwards so the executor (and any read of the
+             variables after the nest) sees exactly the naive values *)
+          let saved = Array.map (fun (vslot, _, _) -> ints.(vslot)) dims in
+          walk 0;
+          Array.iteri (fun d (vslot, _, _) -> ints.(vslot) <- saved.(d)) dims;
+          (* classes run back to back; within a class the per-pair
+             transfers run in parallel, so a round costs its largest *)
+          let per_class : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun (cls, _, _) n ->
+              match Hashtbl.find_opt per_class cls with
+              | Some m -> if !n > !m then m := !n
+              | None -> Hashtbl.replace per_class cls (ref !n))
+            pairs;
+          site.Rt.gs_rounds <- Hashtbl.length per_class;
+          site.Rt.gs_round_words <-
+            Hashtbl.fold (fun _ m acc -> acc + !m) per_class 0;
+          site.Rt.gs_key <- Some keynow;
+          Rt.note_event rt ~name:"gather-inspect"
+            ~detail:
+              (Printf.sprintf "%s slots=%d rounds=%d" key nslots
+                 site.Rt.gs_rounds)
+            ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock);
+      (* every execution: move the CURRENT target values into scratch *)
+      let addrs = site.Rt.gs_addrs in
+      let scratch = site.Rt.gs_scratch in
+      let heap = rt.Rt.heap in
+      let copy_one =
+        if real_elems then fun i ->
+          Heap.set_real heap (scratch + i) (Heap.get_real heap addrs.(i))
+        else fun i ->
+          Heap.set_int heap (scratch + i) (Heap.get_int heap addrs.(i))
+      in
+      let fault = Memsys.fault rt.Rt.mem in
+      let rec attempt tries =
+        let fetch = Rt.next_gather_fetch rt in
+        if not (Ddsm_check.Fault.gather_fetch_fails fault ~fetch) then begin
+          for i = 0 to nslots - 1 do
+            copy_one i
+          done;
+          charge
+            (Costs.gather_scheduled ~rounds:site.Rt.gs_rounds
+               ~round_words:site.Rt.gs_round_words)
+            ctx.ws;
+          Rt.note_event rt ~name:"gather"
+            ~detail:
+              (Printf.sprintf "%s slots=%d rounds=%d retries=%d" key nslots
+                 site.Rt.gs_rounds tries)
+            ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
+        end
+        else begin
+          rt.Rt.gather_retries <- rt.Rt.gather_retries + 1;
+          charge Costs.gather_retry ctx.ws;
+          if tries + 1 < max_gather_attempts then attempt (tries + 1)
+          else begin
+            (* retries exhausted: per-element fallback through ordinary
+               timed loads — same addresses, same values, only slower *)
+            rt.Rt.gather_fallbacks <- rt.Rt.gather_fallbacks + 1;
+            for i = 0 to nslots - 1 do
+              Effect.perform (Eff.Mem (ctx.ws, addrs.(i), false));
+              copy_one i
+            done;
+            Rt.note_event rt ~name:"gather-fallback"
+              ~detail:(Printf.sprintf "%s slots=%d" key nslots)
+              ~proc:ctx.ws.Eff.proc ~now:ctx.ws.Eff.clock
+          end
+        end
+      in
+      attempt 0
+    end
 
 and qualified_array renv name =
   match Sema.find_array renv.env name with
@@ -851,7 +1111,15 @@ and compile_array_arg renv formal actual :
       let ty = array_elem_ty renv a in
       let aslot = arr_slot renv a in
       let idxfs = Array.of_list (List.map (fun s -> fst (compile_i renv s)) subs) in
-      let evalf ctx = Aelem (addrf ctx, ty) in
+      let evalf ctx =
+        (* the callee receives a bare address (its binding has no
+           descriptor), so any store it makes through the element is
+           invisible to the version counter — bump conservatively here *)
+        (match ctx.frame.Frame.arrays.(aslot).Frame.ab_darr with
+        | Some d -> Darray.bump_version d
+        | None -> ());
+        Aelem (addrf ctx, ty)
+      in
       let regf ctx =
         let ab = ctx.frame.Frame.arrays.(aslot) in
         match ab.Frame.ab_darr with

@@ -34,4 +34,26 @@ let redistribute_scheduled ~rounds ~round_words =
 let redistribute_naive ~cross_words ~transfers =
   (transfers * redistribute_round) + redistribute_words ~words:cross_words
 
+(* inspector-executor gathers (irregular accesses through an index array):
+   inspection classifies one referenced element per iteration slot — an
+   address computation plus a bin insert *)
+let gather_inspect = 2
+
+(* one all-to-all round of a scheduled bulk gather; smaller than a
+   redistribution round because nothing is re-homed, the receivers only
+   fill their scratch pages *)
+let gather_round = 100
+
+(* one failed bulk-fetch attempt: OS round-trip plus backoff wait *)
+let gather_retry = 400
+
+(* words of one gather transfer: same per-word bandwidth as redistribution *)
+let gather_words ~words = words / 4
+
+(* a scheduled gather runs its rounds back to back; within a round the
+   per-home transfers proceed in parallel, so a round costs its LARGEST
+   transfer ([round_words] is the sum of those maxima) *)
+let gather_scheduled ~rounds ~round_words =
+  (rounds * gather_round) + gather_words ~words:round_words
+
 let intrinsic = Ddsm_sema.Intrinsics.cycles

@@ -58,4 +58,22 @@ val redistribute_scheduled : rounds:int -> round_words:int -> int
     round setup once per transfer *)
 val redistribute_naive : cross_words:int -> transfers:int -> int
 
+(** per-iteration-slot inspection work of an inspector-executor gather:
+    one address classification plus a bin insert *)
+val gather_inspect : int
+
+(** cycles for one all-to-all round of a scheduled bulk gather *)
+val gather_round : int
+
+(** cycles charged for each failed (injected) bulk-fetch attempt *)
+val gather_retry : int
+
+(** cycles to move [words] words of one gather transfer *)
+val gather_words : words:int -> int
+
+(** a scheduled bulk gather runs [rounds] rounds back to back; within a
+    round the per-home transfers proceed in parallel so each round costs
+    its largest transfer ([round_words] is the sum of those maxima) *)
+val gather_scheduled : rounds:int -> round_words:int -> int
+
 val intrinsic : string -> int

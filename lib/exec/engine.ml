@@ -290,7 +290,8 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
     if observing then begin
       Memsys.set_probe mem None;
       rt.Rt.on_event <- None;
-      rt.Rt.on_relayout <- None
+      rt.Rt.on_relayout <- None;
+      rt.Rt.on_scratch <- None
     end
   in
   (* Full-context diagnosis: reason + where every simulated task stands.
@@ -368,6 +369,18 @@ let run prog ~rt ?(checks = true) ?(bounds = false)
                 profile;
               Option.iter
                 (fun s -> Sanitize.register_array s ~name ~word_ranges:ranges)
+                sanitize);
+        (* gather scratch carries copies of its source array's elements:
+           attribute accesses to that array (registration appends, so the
+           array keeps its own ranges too) *)
+        rt.Rt.on_scratch <-
+          Some
+            (fun ~name ~word_ranges ->
+              Option.iter
+                (fun p -> Profile.register_array p ~name ~word_ranges)
+                profile;
+              Option.iter
+                (fun s -> Sanitize.register_array s ~name ~word_ranges)
                 sanitize));
     phase := "compile";
     let g =

@@ -58,13 +58,25 @@ type ectx =
 let scalar_pool = [ ("s0", Types.Treal); ("s1", Types.Treal); ("m0", Types.Tint); ("m1", Types.Tint) ]
 let acc_scalar = ("t0", Types.Treal)
 
+(* index arrays ("ix0", "ix1") feed indirect subscripts.  They are filled
+   once by an affine mod pattern and never written again, so their values
+   stay in [1,3] — in bounds for every array at every shrink stage. *)
+let is_index (a : Spec.arr) =
+  String.length a.Spec.an >= 2 && String.sub a.Spec.an 0 2 = "ix"
+
 let quarters rng = float_of_int (Rng.range rng 1 12) *. 0.25
 
 let gen_read rng (arrays : Spec.arr list) ctx : Spec.exp option =
+  let idxs = List.filter is_index arrays in
   let sub_for rng (loop : Spec.arr) (r : Spec.arr) _d =
-    match Rng.int rng 4 with
+    match Rng.int rng 5 with
     | 0 | 1 -> Spec.SVar (Rng.int rng loop.Spec.nd)
     | 2 -> Spec.SRev (Rng.int rng loop.Spec.nd)
+    | 3 when idxs <> [] ->
+        (* indirect subscript through an index array: its values are in
+           [1,3], in bounds for any array, and the read sits under a loop
+           whose outermost variable subscripts the index array itself *)
+        Spec.SInd (Rng.pick rng idxs).Spec.an
     | _ -> Spec.SConst (Rng.range rng 1 r.Spec.ext)
   in
   match ctx with
@@ -199,6 +211,9 @@ let elem_starts (a : Spec.arr) k =
       List.init (max 0 (a.Spec.ext - k + 1)) (fun i -> i + 1)
 
 let gen_call rng (subs : Spec.sub list) arrays : Spec.stmt option =
+  (* the subroutines add [s] to every element — a write, so index arrays
+     are not eligible actuals *)
+  let arrays = List.filter (fun a -> not (is_index a)) arrays in
   let pairs =
     List.concat_map
       (fun (a : Spec.arr) ->
@@ -223,7 +238,10 @@ let gen_call rng (subs : Spec.sub list) arrays : Spec.stmt option =
         Some (Spec.SCallElem (s.Spec.sname, a.Spec.an, at, actual))
 
 let gen_stmt rng arrays subs : Spec.stmt =
-  let pick_arr () = Rng.pick rng arrays in
+  (* index arrays must keep their fill values: reads (direct or through
+     [SInd]) are free, but they are never a loop's write target *)
+  let writable = List.filter (fun a -> not (is_index a)) arrays in
+  let pick_arr () = Rng.pick rng writable in
   let serial_loop () =
     let w = pick_arr () in
     Spec.SLoop
@@ -345,6 +363,31 @@ let generate ?(size = quick) ~seed () =
         arrays
     else arrays
   in
+  (* optionally add index arrays feeding indirect subscripts ([SInd]).
+     Their extent is the maximum over all arrays so ix(i) is in bounds
+     under any loop, and extents shrink in lockstep so that stays true;
+     their values are in [1,3], in bounds for anything (extents never
+     drop below 3).  They may be distributed -- even reshaped -- and
+     redistributed, but never written after their fill. *)
+  let idx_arrays =
+    if Rng.chance rng ~pct:55 then
+      let ext =
+        List.fold_left (fun m (a : Spec.arr) -> max m a.Spec.ext) 3 arrays
+      in
+      List.init (Rng.range rng 1 2) (fun i ->
+          {
+            Spec.an = "ix" ^ string_of_int i;
+            ap = "p" ^ string_of_int i;
+            aty = Types.Tint;
+            nd = 1;
+            ext;
+            adist =
+              (if Rng.chance rng ~pct:60 then Some (gen_dist rng 1) else None);
+            acommon = None;
+          })
+    else []
+  in
+  let arrays = arrays @ idx_arrays in
   let nsubs = Rng.range rng 0 size.max_subs in
   let subs =
     List.init nsubs (fun i ->
@@ -370,14 +413,30 @@ let generate ?(size = quick) ~seed () =
   let inits =
     List.map
       (fun (w : Spec.arr) ->
-        Spec.SLoop
-          {
-            w = w.Spec.an;
-            par = None;
-            rhs = gen_exp rng arrays (Serial_loop w) ~depth:2;
-            red = None;
-          })
-      arrays
+        let rhs =
+          if is_index w then
+            (* affine fill 1 + mod(c*i + d, 3): values in [1,3] *)
+            Spec.EBin
+              ( Expr.Add,
+                Spec.ILit 1,
+                Spec.EIntrin
+                  ( "mod",
+                    [
+                      Spec.EBin
+                        ( Expr.Add,
+                          Spec.EBin
+                            ( Expr.Mul,
+                              Spec.ILit (Rng.range rng 1 5),
+                              Spec.EVar Spec.nestv.(0) ),
+                          Spec.ILit (Rng.range rng 0 2) );
+                      Spec.ILit 3;
+                    ] ) )
+          else gen_exp rng arrays (Serial_loop w) ~depth:2
+        in
+        Spec.SLoop { w = w.Spec.an; par = None; rhs; red = None })
+      (* index arrays are filled first: any later init may already read
+         through them, and a pre-fill [SInd] read would be subscript 0 *)
+      (idx_arrays @ List.filter (fun a -> not (is_index a)) arrays)
   in
   let nstmts = Rng.range rng 2 size.max_stmts in
   let stmts = List.init nstmts (fun _ -> gen_stmt rng arrays subs) in

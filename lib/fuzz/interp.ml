@@ -106,7 +106,9 @@ let rec ety fr (e : Expr.t) : Types.ty =
       | Some { Intrinsics.result = `Same; _ } ->
           List.fold_left (fun acc a -> promote acc (ety fr a)) Types.Tint args
       | None -> Types.Tint)
-  | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _ -> Types.Tint
+  | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _
+  | Expr.GatherBase _ ->
+      Types.Tint
   | Expr.AbsLoad (ty, _) -> ty
 
 (* scalar access; creation type defaults mirror Compilec.slot_for *)
@@ -201,7 +203,7 @@ let rec eval_i g fr (e : Expr.t) : int =
         | Types.Treal -> assert false (* Treal fast path above *))
     | Expr.Intrin (nm, args) -> intrin_i g fr nm args
     | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _
-    | Expr.AbsLoad _ ->
+    | Expr.AbsLoad _ | Expr.GatherBase _ ->
         unsup "compiler-internal expression form in reference interpreter"
     | Expr.Real _ | Expr.Str _ -> assert false
 
@@ -478,7 +480,7 @@ and exec_stmt g fr (t : Stmt.t) =
           items
       in
       g.prints := String.concat " " parts :: !(g.prints)
-  | Stmt.AbsStore _ | Stmt.Par _ ->
+  | Stmt.AbsStore _ | Stmt.Par _ | Stmt.Gather _ ->
       unsup "compiler-internal statement form in reference interpreter"
 
 and exec_do g fr (d : Stmt.do_) =

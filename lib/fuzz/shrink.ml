@@ -36,14 +36,26 @@ let rec stmt_calls st =
       List.concat_map stmt_calls th @ List.concat_map stmt_calls el
   | _ -> []
 
+(* indirect subscripts in an expression: each one drags in an index
+   array, its fill and (in the engine) a gather schedule, so they carry
+   weight and the shrinker offers a direct-subscript replacement *)
+let rec exp_sinds e =
+  match e with
+  | ILit _ | RLit _ | EVar _ -> 0
+  | ERead (_, subs) ->
+      List.length (List.filter (function SInd _ -> true | _ -> false) subs)
+  | EBin (_, a, b) | ERel (_, a, b) -> exp_sinds a + exp_sinds b
+  | ENeg a -> exp_sinds a
+  | EIntrin (_, args) -> List.fold_left (fun n a -> n + exp_sinds a) 0 args
+
 let rec stmt_weight st =
   match st with
   | SIf (_, th, el) ->
       1
       + List.fold_left (fun a s -> a + stmt_weight s) 0 th
       + List.fold_left (fun a s -> a + stmt_weight s) 0 el
-  | SLoop { par; red; _ } ->
-      2
+  | SLoop { par; red; rhs; _ } ->
+      2 + exp_sinds rhs
       + (match par with
         | None -> 0
         | Some p ->
@@ -124,6 +136,16 @@ let reclamp t =
 
 let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
 
+(* replace indirect subscripts with a constant: always in bounds, and
+   usually enough to show whether the bug needed the gather machinery *)
+let unind rhs =
+  map_exp
+    (function
+      | ERead (a, subs) ->
+          ERead (a, List.map (function SInd _ -> SConst 1 | s -> s) subs)
+      | e -> e)
+    rhs
+
 (* a reduction's rhs reads through the inner loop variable; when the
    reduction is dropped, re-anchor those subscripts *)
 let unred rhs =
@@ -151,6 +173,8 @@ let candidates t =
           (match l.red with
           | Some _ -> add (set (SLoop { l with red = None; rhs = unred l.rhs }))
           | None -> ());
+          if exp_sinds l.rhs > 0 then
+            add (set (SLoop { l with rhs = unind l.rhs }));
           (match l.par with
           | Some p ->
               add (set (SLoop { l with par = None }));

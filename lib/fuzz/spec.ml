@@ -32,6 +32,12 @@ type sidx =
   | SRev of int  (* loopext+1-v: exercises non-aligned affinity *)
   | SConst of int
   | SIn of string  (* an inner serial loop variable, e.g. the reduction's *)
+  | SInd of string
+      (* indirect: an index array read at the outermost nest variable,
+         e.g. a0(ix0(i)).  The generator fills index arrays with values
+         in [1,3], in bounds for every array at every shrink stage
+         (extents never drop below 3), and never writes them afterwards
+         -- the shape the inspector-executor transform targets. *)
 
 type exp =
   | ILit of int
@@ -117,6 +123,7 @@ let render_sidx ~loopp = function
   | SRev d -> Printf.sprintf "%s+1-%s" loopp nestv.(d)
   | SConst c -> string_of_int c
   | SIn v -> v
+  | SInd a -> Printf.sprintf "%s(%s)" a nestv.(0)
 
 let rec render_exp ~loopp e =
   match e with
@@ -140,7 +147,11 @@ let rec render_exp ~loopp e =
 let rec exp_arrays e =
   match e with
   | ILit _ | RLit _ | EVar _ -> []
-  | ERead (a, _) -> [ a ]
+  | ERead (a, subs) ->
+      (* index arrays read through [SInd] count as reads too: the
+         doacross shared clause and the shrinker's dependency tracking
+         both key on this list *)
+      a :: List.filter_map (function SInd x -> Some x | _ -> None) subs
   | EBin (_, a, b) | ERel (_, a, b) -> exp_arrays a @ exp_arrays b
   | ENeg a -> exp_arrays a
   | EIntrin (_, args) -> List.concat_map exp_arrays args

@@ -21,12 +21,16 @@ type t =
   | Meta of string * meta_field
   | BaseOf of string * t
   | AbsLoad of Types.ty * t
+  | GatherBase of int
+      (* word base of gather site [id]'s scratch buffer; defined once the
+         site's Stmt.Gather has executed (the inspector pass emits that
+         Gather dominating every use) *)
 
 let rec map f e =
   let r = map f in
   let e' =
     match e with
-    | Int _ | Real _ | Str _ | Var _ | Meta _ -> e
+    | Int _ | Real _ | Str _ | Var _ | Meta _ | GatherBase _ -> e
     | Ref (a, subs) -> Ref (a, List.map r subs)
     | Bin (op, x, y) -> Bin (op, r x, r y)
     | Rel (op, x, y) -> Rel (op, r x, r y)
@@ -45,7 +49,7 @@ let rec iter f e =
   f e;
   let r = iter f in
   match e with
-  | Int _ | Real _ | Str _ | Var _ | Meta _ -> ()
+  | Int _ | Real _ | Str _ | Var _ | Meta _ | GatherBase _ -> ()
   | Ref (_, subs) -> List.iter r subs
   | Bin (_, x, y) | Rel (_, x, y) | Log (_, x, y) | Idiv (_, x, y) | Imod (_, x, y)
     ->
@@ -180,5 +184,6 @@ let rec pp ppf e =
       Format.fprintf ppf "load.%s[%a]"
         (match ty with Types.Tint -> "i" | Types.Treal -> "r")
         pp x
+  | GatherBase id -> Format.fprintf ppf "gather#%d.base" id
 
 let to_string e = Format.asprintf "%a" pp e

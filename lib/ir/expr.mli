@@ -39,6 +39,9 @@ type t =
   | Meta of string * meta_field  (** descriptor-block load for array *)
   | BaseOf of string * t  (** processor-pointer-array load: base of portion [e] of array *)
   | AbsLoad of Types.ty * t  (** load the word at address [e] *)
+  | GatherBase of int
+      (** word base of gather site [id]'s scratch buffer (inspector–executor
+          transform); defined once the site's [Stmt.Gather] has executed *)
 
 val map : (t -> t) -> t -> t
 (** Bottom-up rewrite: applies the function to each node after rewriting its

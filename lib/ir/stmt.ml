@@ -17,8 +17,22 @@ and kind =
   | Print of Expr.t list
   | Barrier
   | Par of par
+  | Gather of gather
 
 and par = { pbody : t list }
+
+and gather = {
+  g_id : int;  (* site id, unique within the routine *)
+  g_target : string;  (* rank-1 array whose elements are gathered *)
+  g_index : string;  (* integer index array driving the accesses *)
+  g_scale : int;  (* target subscript = g_scale * index(...) + g_off *)
+  g_off : int;
+  g_dims : (string * Expr.t * Expr.t) list;
+      (* rectangle (var, lo, hi) per nest dim, outermost first, step 1 *)
+  g_isubs : Expr.t list;
+      (* subscripts into the index array: pure scalar expressions over the
+         nest variables and loop-invariant scalars *)
+}
 
 and do_ = {
   var : string;
@@ -75,6 +89,13 @@ let rec map_exprs f t =
     | Redistribute _ | Continue | Return | Barrier -> t.s
     | Par p -> Par { pbody = fb p.pbody }
     | Print es -> Print (List.map fe es)
+    | Gather g ->
+        Gather
+          {
+            g with
+            g_dims = List.map (fun (v, lo, hi) -> (v, fe lo, fe hi)) g.g_dims;
+            g_isubs = List.map fe g.g_isubs;
+          }
   in
   { t with s }
 
@@ -109,6 +130,13 @@ let rec iter_exprs f t =
   | Redistribute _ | Continue | Return | Barrier -> ()
   | Par p -> fb p.pbody
   | Print es -> List.iter f es
+  | Gather g ->
+      List.iter
+        (fun (_, lo, hi) ->
+          f lo;
+          f hi)
+        g.g_dims;
+      List.iter f g.g_isubs
 
 and iter_do f d =
   f d.lo;
@@ -259,6 +287,18 @@ let rec pp ppf t =
   | Barrier -> Format.pp_print_string ppf "barrier"
   | Par p ->
       Format.fprintf ppf "@[<v 2>parallel@ %a@]@ end parallel" pp_body p.pbody
+  | Gather g ->
+      Format.fprintf ppf "@[<h>gather#%d %s <- %s(%d*%s(%a)+%d) for %a@]"
+        g.g_id g.g_target g.g_target g.g_scale g.g_index
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Expr.pp)
+        g.g_isubs g.g_off
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (v, lo, hi) ->
+             Format.fprintf ppf "%s=%a..%a" v Expr.pp lo Expr.pp hi))
+        g.g_dims
 
 and pp_do ppf d =
   Format.fprintf ppf "@[<v 2>do %s = %a, %a%a@ %a@]@ enddo" d.var Expr.pp d.lo

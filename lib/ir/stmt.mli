@@ -28,8 +28,27 @@ and kind =
           [c$doacross]: every processor executes [pbody] with the reserved
           variables [myp$] (its 0-based id) and [np$] (processor count)
           bound in a private scalar frame; an implicit barrier follows. *)
+  | Gather of gather
+      (** compiler-internal inspector for an irregular loop: walks the
+          rectangle once, reads the index array, and bulk-fetches the
+          referenced target elements into a per-site scratch buffer keyed
+          by iteration slot; the rewritten loop (executor) reads the
+          scratch via [Expr.GatherBase]. Serial context only. *)
 
 and par = { pbody : t list }
+
+and gather = {
+  g_id : int;  (** site id, unique within the routine *)
+  g_target : string;  (** rank-1 array whose elements are gathered *)
+  g_index : string;  (** integer index array driving the accesses *)
+  g_scale : int;  (** target subscript = [g_scale * index(...) + g_off] *)
+  g_off : int;
+  g_dims : (string * Expr.t * Expr.t) list;
+      (** rectangle (var, lo, hi) per nest dim, outermost first, step 1 *)
+  g_isubs : Expr.t list;
+      (** subscripts into the index array: pure scalar expressions over the
+          nest variables and loop-invariant scalars *)
+}
 
 and do_ = {
   var : string;

@@ -25,6 +25,10 @@ type t = {
   mutable storage : storage;
   mutable meta : int option;
   mutable canaries : (int * int) list;
+  mutable version : int;
+      (* bumped on every write the compiled code can see (element stores,
+         element arguments passed to callees) and on redistribution; the
+         inspector-executor runtime keys cached gather schedules on it *)
 }
 
 let default_lower extents = Array.map (fun _ -> 1) extents
@@ -62,6 +66,8 @@ let audit t heap =
 
 let element_count t = Array.fold_left ( * ) 1 t.extents
 
+let bump_version t = t.version <- t.version + 1
+
 let zero_based t idx =
   if Array.length idx <> Array.length t.extents then
     invalid_arg "Darray: index arity mismatch";
@@ -88,6 +94,7 @@ let alloc_plain heap ~name ~elem ~extents ?lower ~page_words () =
     storage = Normal { base };
     meta = None;
     canaries = [ pre; post ];
+    version = 0;
   }
 
 (* Page-placement map for a regular distribution: each page goes to the node
@@ -189,6 +196,7 @@ let alloc_reshaped heap mem pools ~name ~elem ~extents ?lower ~kinds ?onto
     storage = Reshaped { meta_base; bases; portion_words };
     meta = Some meta_base;
     canaries = portion_canaries @ meta_canaries;
+    version = 0;
   }
 
 (* Every word range this array owns: element storage (the descriptor block

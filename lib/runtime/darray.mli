@@ -65,7 +65,15 @@ type t = {
           this array owns (storage, descriptor block, reshaped portions);
           checked by {!audit}. Superseded allocations keep their guards —
           the heap never reuses them. *)
+  mutable version : int;
+      (** write-generation counter: bumped by the VM on element stores and
+          element arguments passed by reference, and by the runtime on
+          redistribution. The inspector-executor keys cached gather
+          schedules on (index version, target version) and re-inspects
+          when either moves. *)
 }
+
+val bump_version : t -> unit
 
 val audit : t -> Heap.t -> Ddsm_check.Audit.violation list
 (** Check every guard word of the array in both heap planes; a violation

@@ -9,21 +9,42 @@ type redist = {
   fell_back : bool;
 }
 
+(* One inspector-executor gather site (compiled [Stmt.Gather]): scratch
+   storage, the cached schedule and its cache key. Sites are keyed
+   "routine#id" so prelink clones get distinct state. *)
+type gather_site = {
+  mutable gs_scratch : int;  (* scratch base word; -1 until allocated *)
+  mutable gs_cap : int;  (* scratch capacity in words *)
+  mutable gs_key : (int * int * int array) option;
+      (* (index version, target version, evaluated rectangle bounds) the
+         cached schedule was inspected under *)
+  mutable gs_addrs : int array;  (* iteration slot -> source word address *)
+  mutable gs_rounds : int;
+  mutable gs_round_words : int;
+}
+
 type t = {
   heap : Heap.t;
   mem : Memsys.t;
   pools : Pools.t;
   argcheck : Argcheck.t;
   arrays : (string, Darray.t) Hashtbl.t;
+  gathers : (string, gather_site) Hashtbl.t;
   mutable redist_pages : int;
   mutable redist_attempts : int;
   mutable redist_retries : int;
   mutable redist_fallbacks : int;
+  mutable gather_fetches : int;
+  mutable gather_inspections : int;
+  mutable gather_retries : int;
+  mutable gather_fallbacks : int;
   job_procs : int;
   mutable barriers : int;
   mutable on_event :
     (name:string -> detail:string -> proc:int -> now:int -> unit) option;
   mutable on_relayout : (Darray.t -> unit) option;
+  mutable on_scratch :
+    (name:string -> word_ranges:(int * int) list -> unit) option;
 }
 
 let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
@@ -44,14 +65,20 @@ let create cfg ~policy ~heap_words ?(pool_slab_pages = 4) ?job_procs
     pools = Pools.create heap mem ~slab_pages:pool_slab_pages;
     argcheck = Argcheck.create ();
     arrays = Hashtbl.create 64;
+    gathers = Hashtbl.create 16;
     redist_pages = 0;
     redist_attempts = 0;
     redist_retries = 0;
     redist_fallbacks = 0;
+    gather_fetches = 0;
+    gather_inspections = 0;
+    gather_retries = 0;
+    gather_fallbacks = 0;
     job_procs;
     barriers = 0;
     on_event = None;
     on_relayout = None;
+    on_scratch = None;
   }
 
 let note_event t ~name ~detail ~proc ~now =
@@ -147,6 +174,10 @@ let redistribute t ~name ~kinds ?onto ?procs () =
           | Ok Darray.Busy -> retry_or_fallback ()
           | Ok (Darray.Moved o) ->
               t.redist_pages <- t.redist_pages + o.Darray.pages_moved;
+              (* page homes (regular) or portion addresses (reshaped)
+                 changed: cached gather schedules over this array are
+                 stale *)
+              Darray.bump_version a;
               if a.Darray.reshaped then
                 Option.iter (fun f -> f a) t.on_relayout;
               Ok
@@ -163,6 +194,57 @@ let redistribute t ~name ~kinds ?onto ?procs () =
       go 0
 
 let find_array t name = Hashtbl.find_opt t.arrays name
+
+(* ------------------------------------------------------------------ *)
+(* Inspector-executor gather sites *)
+
+let gather_site t ~key =
+  match Hashtbl.find_opt t.gathers key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          gs_scratch = -1;
+          gs_cap = 0;
+          gs_key = None;
+          gs_addrs = [||];
+          gs_rounds = 0;
+          gs_round_words = 0;
+        }
+      in
+      Hashtbl.replace t.gathers key s;
+      s
+
+(* Scratch storage for a gather site: page-aligned and padded to whole
+   pages, pages block-placed over the job's processors so executor reads
+   spread across the machine instead of hammering one home node. The
+   scratch words are announced to the [on_scratch] observer under the
+   SOURCE array's name — profiler and sanitizer attribute the gathered
+   words to the array they came from. *)
+let alloc_gather_scratch t ~src_array ~words =
+  let pw = page_words t in
+  let padded = max pw ((words + pw - 1) / pw * pw) in
+  let base = Heap.alloc t.heap ~words:padded ~align_words:pw in
+  let npages = padded / pw in
+  let cfg = Memsys.config t.mem in
+  let base_pg = Heap.byte_of_word base / cfg.Config.page_bytes in
+  for i = 0 to npages - 1 do
+    let p = i * t.job_procs / npages in
+    Memsys.place_page t.mem ~page:(base_pg + i)
+      ~node:(Config.node_of_proc cfg p)
+  done;
+  (match t.on_scratch with
+  | None -> ()
+  | Some f -> f ~name:src_array ~word_ranges:[ (base, base + padded - 1) ]);
+  base
+
+(* machine-wide bulk-fetch counter feeding the fault plan: returns the
+   0-based ordinal of this fetch, like [Memsys]'s migration counter, so
+   [gather-fail=N] fails the Nth fetch onward (1-based spec). *)
+let next_gather_fetch t =
+  let v = t.gather_fetches in
+  t.gather_fetches <- t.gather_fetches + 1;
+  v
 
 let read t ~addr ~elem =
   match (elem : Darray.elem) with

@@ -19,12 +19,29 @@ type redist = {
           without the performance benefit of the new distribution *)
 }
 
+(** One inspector-executor gather site (a compiled [Stmt.Gather]): scratch
+    storage plus the cached schedule and its cache key. Sites are keyed
+    ["routine#id"] so linker clones get distinct state. All fields are
+    owned by the VM's gather execution. *)
+type gather_site = {
+  mutable gs_scratch : int;  (** scratch base word; [-1] until allocated *)
+  mutable gs_cap : int;  (** scratch capacity in words *)
+  mutable gs_key : (int * int * int array) option;
+      (** (index version, target version, evaluated rectangle bounds) the
+          cached schedule was inspected under; [None] = never inspected *)
+  mutable gs_addrs : int array;  (** iteration slot -> source word address *)
+  mutable gs_rounds : int;  (** per-home rounds of the cached schedule *)
+  mutable gs_round_words : int;
+      (** sum over rounds of the largest transfer *)
+}
+
 type t = {
   heap : Heap.t;
   mem : Memsys.t;
   pools : Pools.t;
   argcheck : Argcheck.t;
   arrays : (string, Darray.t) Hashtbl.t;
+  gathers : (string, gather_site) Hashtbl.t;
   mutable redist_pages : int;  (** pages moved by redistribute calls *)
   mutable redist_attempts : int;
       (** redistribute attempts made (feeds the fault plan's failure
@@ -33,6 +50,15 @@ type t = {
   mutable redist_fallbacks : int;
       (** redistribute calls that exhausted retries and kept the old
           placement *)
+  mutable gather_fetches : int;
+      (** bulk gather fetches attempted (feeds the fault plan's
+          [gather-fail] schedule, 1-based) *)
+  mutable gather_inspections : int;
+      (** gather schedule (re)inspections — cache misses *)
+  mutable gather_retries : int;  (** failed bulk fetches that were retried *)
+  mutable gather_fallbacks : int;
+      (** gathers that exhausted retries and fell back to per-element
+          fetches *)
   job_procs : int;
       (** processors this job runs on (<= machine size): the paper runs
           P-processor jobs on a fixed 128-processor Origin-2000 *)
@@ -50,6 +76,12 @@ type t = {
           (portions and descriptor replaced by {!redistribute}): observers
           that hold the array's word ranges — profiler, sanitizer — must
           learn the new ones. [None] by default. *)
+  mutable on_scratch :
+    (name:string -> word_ranges:(int * int) list -> unit) option;
+      (** called when a gather site allocates scratch storage, with the
+          SOURCE array's qualified name and the new scratch word ranges:
+          observers attribute the gathered words to the array they came
+          from. [None] by default. *)
 }
 
 val create :
@@ -115,6 +147,19 @@ val int_of_real : float -> int option
     integer elements through this rule. *)
 
 val find_array : t -> string -> Darray.t option
+
+val gather_site : t -> key:string -> gather_site
+(** Find or create the gather site state for ["routine#id"]. *)
+
+val alloc_gather_scratch : t -> src_array:string -> words:int -> int
+(** Allocate (page-aligned, whole pages) scratch storage for a gather
+    site, block-place its pages over the job's processors, announce the
+    range to [on_scratch] under [src_array], and return the base word. *)
+
+val next_gather_fetch : t -> int
+(** Bump the machine-wide bulk-fetch counter and return this fetch's
+    0-based ordinal (consumed by
+    {!Ddsm_check.Fault.gather_fetch_fails}). *)
 
 val read : t -> addr:int -> elem:Darray.elem -> float
 (** Raw data read (no timing); integers are returned as floats for the VM's

@@ -75,7 +75,9 @@ let rec ty_of ctx (e : Expr.t) : Types.ty option =
           List.fold_left
             (fun acc a -> promote acc (ty_of ctx a))
             (Some Types.Tint) args)
-  | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _ -> Some Types.Tint
+  | Expr.Idiv _ | Expr.Imod _ | Expr.Meta _ | Expr.BaseOf _
+  | Expr.GatherBase _ ->
+      Some Types.Tint
   | Expr.AbsLoad (ty, _) -> Some ty
 
 let type_of env e =
@@ -392,7 +394,7 @@ let rec check_expr ctx ~loc ~bare_ok (e : Expr.t) : Expr.t =
   | Expr.Intrin (n, args) -> Expr.Intrin (n, List.map recur args)
   | Expr.Idiv (i, x, y) -> Expr.Idiv (i, recur x, recur y)
   | Expr.Imod (i, x, y) -> Expr.Imod (i, recur x, recur y)
-  | Expr.Meta _ | Expr.BaseOf _ | Expr.AbsLoad _ -> e
+  | Expr.Meta _ | Expr.BaseOf _ | Expr.AbsLoad _ | Expr.GatherBase _ -> e
 
 (* ------------------------------------------------------------------ *)
 (* Statement checking / rewriting *)
@@ -495,7 +497,7 @@ let rec check_stmt ctx (t : Stmt.t) : Stmt.t =
                 | _ -> ()))
         | _ -> errf ctx loc "redistribute target %s is not declared" rd.Stmt.rarray);
         Stmt.Redistribute rd
-    | Stmt.Continue | Stmt.Return | Stmt.Barrier -> t.Stmt.s
+    | Stmt.Continue | Stmt.Return | Stmt.Barrier | Stmt.Gather _ -> t.Stmt.s
     | Stmt.Par p -> Stmt.Par { Stmt.pbody = List.map (check_stmt ctx) p.Stmt.pbody }
     | Stmt.Print es ->
         Stmt.Print

@@ -2,7 +2,13 @@ open Ddsm_ir
 
 let candidate e =
   Hoist.(contains_expensive e)
-  && (not (Expr.exists (function Expr.AbsLoad _ | Expr.Ref _ | Expr.Str _ -> true | _ -> false) e))
+  && (not
+        (Expr.exists
+           (function
+             | Expr.AbsLoad _ | Expr.Ref _ | Expr.Str _ | Expr.GatherBase _ ->
+                 true
+             | _ -> false)
+           e))
 
 (* Expressions appearing at block level in a statement: everything except
    the contents of nested bodies (each nested body is its own block). *)
@@ -47,7 +53,9 @@ let rec count_in c e =
   if Expr.equal c e then 1
   else
     match e with
-    | Expr.Int _ | Expr.Real _ | Expr.Str _ | Expr.Var _ | Expr.Meta _ -> 0
+    | Expr.Int _ | Expr.Real _ | Expr.Str _ | Expr.Var _ | Expr.Meta _
+    | Expr.GatherBase _ ->
+        0
     | Expr.Ref (_, subs) | Expr.Intrin (_, subs) ->
         List.fold_left (fun acc x -> acc + count_in c x) 0 subs
     | Expr.Bin (_, a, b)

@@ -6,6 +6,7 @@ type t = {
   cse : bool;
   fp_divmod : bool;
   interchange : bool;
+  inspector : bool;
 }
 
 let all_on =
@@ -17,6 +18,7 @@ let all_on =
     cse = true;
     fp_divmod = true;
     interchange = true;
+    inspector = true;
   }
 
 let all_off =
@@ -28,6 +30,7 @@ let all_off =
     cse = false;
     fp_divmod = false;
     interchange = false;
+    inspector = false;
   }
 
 let tile_peel = { all_off with tile = true; peel = true; skew = true }
@@ -35,6 +38,7 @@ let tile_peel_hoist = { tile_peel with hoist = true; cse = true; interchange = t
 
 let pp ppf t =
   let b name v = if v then name else "no-" ^ name in
-  Format.fprintf ppf "[%s %s %s %s %s %s %s]" (b "tile" t.tile) (b "peel" t.peel)
-    (b "skew" t.skew) (b "hoist" t.hoist) (b "cse" t.cse) (b "fpdiv" t.fp_divmod)
-    (b "interchange" t.interchange)
+  Format.fprintf ppf "[%s %s %s %s %s %s %s %s]" (b "tile" t.tile)
+    (b "peel" t.peel) (b "skew" t.skew) (b "hoist" t.hoist) (b "cse" t.cse)
+    (b "fpdiv" t.fp_divmod) (b "interchange" t.interchange)
+    (b "inspector" t.inspector)

@@ -17,6 +17,11 @@ type t = {
   cse : bool;  (** §7.2 CSE across reshaped index expressions *)
   fp_divmod : bool;  (** §7.3 div/mod via floating-point arithmetic *)
   interchange : bool;  (** §7.1.1 moving processor-tile loops outward *)
+  inspector : bool;
+      (** inspector-executor transformation of irregular (indirect-
+          subscript) loops: the index vector is walked once, referenced
+          elements are bulk-gathered per home node into scratch, and the
+          loop reads the scratch (see DESIGN.md §13) *)
 }
 
 val all_on : t

@@ -14,8 +14,14 @@ let rec contains_expensive (e : Expr.t) =
       | _ -> ());
       !found
 
+(* [GatherBase] counts as a memory read: its value is defined by the most
+   recent execution of its site's [Stmt.Gather], so it must never move
+   above one. *)
 let reads_memory e =
-  Expr.exists (function Expr.AbsLoad _ | Expr.Ref _ -> true | _ -> false) e
+  Expr.exists
+    (function
+      | Expr.AbsLoad _ | Expr.Ref _ | Expr.GatherBase _ -> true | _ -> false)
+    e
 
 let has_string e = Expr.exists (function Expr.Str _ -> true | _ -> false) e
 
@@ -79,7 +85,9 @@ let rec extract ctx ~killed ~relaid ~acc (e : Expr.t) : Expr.t =
   else
     let r = extract ctx ~killed ~relaid ~acc in
     match e with
-    | Expr.Int _ | Expr.Real _ | Expr.Str _ | Expr.Var _ | Expr.Meta _ -> e
+    | Expr.Int _ | Expr.Real _ | Expr.Str _ | Expr.Var _ | Expr.Meta _
+    | Expr.GatherBase _ ->
+        e
     | Expr.Ref (a, subs) -> Expr.Ref (a, List.map r subs)
     | Expr.Bin (op, a, b) -> Expr.Bin (op, r a, r b)
     | Expr.Rel (op, a, b) -> Expr.Rel (op, r a, r b)

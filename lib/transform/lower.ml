@@ -184,6 +184,23 @@ and xform_stmt st binds (t : Stmt.t) : Stmt.t list =
         };
       ]
   | Stmt.Redistribute _ | Stmt.Continue | Stmt.Return | Stmt.Barrier -> [ t ]
+  | Stmt.Gather g ->
+      (* inspector bounds/subscripts are pure scalar expressions over
+         non-reshaped data by construction; rewrite is a no-op apart from
+         constant folding *)
+      [
+        {
+          t with
+          Stmt.s =
+            Stmt.Gather
+              {
+                g with
+                Stmt.g_dims =
+                  List.map (fun (v, lo, hi) -> (v, rw lo, rw hi)) g.Stmt.g_dims;
+                g_isubs = List.map rw g.Stmt.g_isubs;
+              };
+        };
+      ]
   | Stmt.Par p ->
       [ { t with Stmt.s = Stmt.Par { Stmt.pbody = xform_body st binds p.Stmt.pbody } } ]
 

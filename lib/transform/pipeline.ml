@@ -2,7 +2,11 @@ module Sema = Ddsm_sema.Sema
 
 let run flags (env : Sema.env) =
   let ctx = Tctx.create env in
-  let r = Lower.routine ctx flags env.Sema.routine in
+  let surface =
+    if flags.Flags.inspector then Inspector.routine ctx env.Sema.routine
+    else env.Sema.routine
+  in
+  let r = Lower.routine ctx flags surface in
   let r = if flags.Flags.interchange then Interchange.routine r else r in
   let r = if flags.Flags.hoist then Hoist.routine ctx r else r in
   let r = if flags.Flags.cse then Cse.routine ctx r else r in
