@@ -460,7 +460,14 @@ let () =
         | Some j when j >= 1 -> j
         | _ -> failwith ("--jobs: expected a positive integer, got " ^ n))
     | _ :: tl -> jobs_of tl
-    | [] -> Ddsm_util.Jobs.default_jobs ()
+    | [] -> (
+        (* a malformed DDSM_JOBS is a user error: diagnose and exit 2,
+           matching the pflrun/pflc exit-code contract *)
+        match Ddsm_util.Jobs.default_jobs () with
+        | Ok j -> j
+        | Error e ->
+            Printf.eprintf "runtime error: %s\n" e;
+            exit 2)
   in
   let jobs = jobs_of args in
   let rec strip = function

@@ -82,7 +82,9 @@ let link_objs paths output verbose =
       (fun p ->
         match Ddsm_linker.Objfile.load ~path:p with
         | Ok o -> o
-        | Error e -> err_exit [ p ^ ": " ^ e ])
+        (* a corrupt/truncated/stale object is a diagnosed rejection (the
+           message is already located at the path), not a usage error *)
+        | Error e -> reject_exit [ e ])
       paths
   in
   match Ddsm_linker.Prelink.link objs with

@@ -173,14 +173,106 @@ let differential linked ~n ~seed ~jobs ~nprocs ~policy ~machine ~heap_words
   Printf.printf "differential: %d configuration(s), outputs identical\n" n;
   base
 
+(* --connect SOCK: client mode. The positional argument is a .pf SOURCE
+   (not an image): the file is read and shipped to a running pfld daemon
+   together with the machine configuration, and the reply — ok or a
+   structured Diag-coded error — is rendered exactly as a local run
+   renders it, so a service round trip is byte-identical to one-shot
+   output for the same program and configuration. *)
+let connect_run ~sock ~src_path ~nprocs ~policy ~machine ~heap_words
+    ~max_cycles =
+  let module Proto = Ddsm_service.Proto in
+  let module Client = Ddsm_service.Client in
+  let source =
+    let ic = open_in src_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let req =
+    {
+      Proto.id = 0;
+      source;
+      fname = src_path;
+      nprocs;
+      policy =
+        (match policy with
+        | Pagetable.First_touch -> "first-touch"
+        | Pagetable.Round_robin -> "round-robin");
+      machine =
+        (match machine with
+        | Ddsm.Origin2000 -> "origin"
+        | Ddsm.Scaled f -> Printf.sprintf "scaled:%d" f);
+      heap_words;
+      max_cycles;
+      flags_off = [];
+    }
+  in
+  match Client.connect ~sock with
+  | Error e -> fail_diag (Diag.user ~phase:"connect" e)
+  | Ok c -> (
+      let r = Client.rpc c (Proto.run_to_json req) in
+      Client.close c;
+      match r with
+      | Error e -> fail_diag (Diag.user ~phase:"connect" e)
+      | Ok reply -> (
+          match Proto.str_field reply "status" with
+          | Some "ok" ->
+              let prints =
+                match Proto.field reply "prints" with
+                | Some (Ddsm.Json.List xs) ->
+                    List.filter_map
+                      (function Ddsm.Json.Str s -> Some s | _ -> None)
+                      xs
+                | _ -> []
+              in
+              let cycles =
+                Option.value (Proto.int_field reply "cycles") ~default:0
+              in
+              List.iter print_endline prints;
+              Printf.printf "cycles: %d  (procs: %d)\n" cycles nprocs
+          | Some "error" ->
+              let internal =
+                match Proto.field reply "internal" with
+                | Some (Ddsm.Json.Bool b) -> b
+                | _ -> false
+              in
+              let msg =
+                Option.value (Proto.str_field reply "error")
+                  ~default:"unknown service error"
+              in
+              Printf.eprintf "runtime error: %s\n" msg;
+              exit (if internal then 3 else 2)
+          | _ ->
+              fail_diag (Diag.internal ~phase:"connect" "malformed service reply")))
+
 let run image nprocs policy machine heap_words stats no_checks bounds
     max_cycles fault audit differ seed jobs shards profile trace race
-    race_json =
+    race_json connect =
   try
+    match connect with
+    | Some sock ->
+        if
+          differ <> None || profile || trace <> None || race
+          || race_json <> None || audit
+          || not (Fault.is_none fault)
+          || stats || shards <> 1 || no_checks || bounds
+        then
+          fail_diag
+            (Diag.user ~phase:"cli"
+               "--connect supports plain runs only (nprocs, policy, machine, \
+                heap-words, max-cycles); run locally for --differential, \
+                --profile, --trace, --race, --audit, --fault, --stats, \
+                --shards, --bounds or --no-checks")
+        else
+          connect_run ~sock ~src_path:image ~nprocs ~policy ~machine
+            ~heap_words ~max_cycles
+    | None -> (
     match Ddsm.load_image ~path:image with
-    | Error e ->
-        Printf.eprintf "%s\n" e;
-        exit 1
+    (* corrupt/truncated/stale images are located user errors (exit 2),
+       matching the documented Diag exit-code contract *)
+    | Error e -> fail_diag (Diag.user ~phase:"image" e)
     | Ok linked -> (
         let checks = not no_checks in
         match differ with
@@ -264,7 +356,7 @@ let run image nprocs policy machine heap_words stats no_checks bounds
                       Printf.printf "trace: %s (%d event(s) dropped)\n" path
                         dropped
                     else Printf.printf "trace: %s\n" path
-                | _ -> ())))
+                | _ -> ()))))
   with
   (* CLI-level OS/argument failures (unwritable --trace path, bad
      processor count reaching Rt.create, truncated image file): a
@@ -274,7 +366,23 @@ let run image nprocs policy machine heap_words stats no_checks bounds
   | Invalid_argument m -> fail_diag (Diag.user ~phase:"cli" m)
 
 let () =
-  let image = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.pfi") in
+  (* env-supplied defaults are user input: a malformed DDSM_JOBS/DDSM_SHARDS
+     is a located user error (exit 2), not an internal failure *)
+  let env_default = function
+    | Ok n -> n
+    | Error e -> fail_diag (Diag.user ~phase:"env" e)
+  in
+  let default_jobs = env_default (Ddsm_util.Jobs.default_jobs ()) in
+  let default_shards = env_default (Ddsm_util.Jobs.default_shards ()) in
+  let image =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PROG.pfi"
+          ~doc:
+            "Linked image to run — or, with $(b,--connect), a $(b,.pf) \
+             source file to submit to the daemon.")
+  in
   let nprocs =
     Arg.(value & opt int 8 & info [ "p"; "nprocs" ] ~docv:"N" ~doc:"Simulated processors.")
   in
@@ -340,7 +448,7 @@ let () =
   let jobs =
     Arg.(
       value
-      & opt int (Ddsm_util.Jobs.default_jobs ())
+      & opt int default_jobs
       & info [ "jobs" ] ~docv:"N"
           ~doc:
             "Run $(b,--differential) configurations on up to N domains \
@@ -350,7 +458,7 @@ let () =
   let shards =
     Arg.(
       value
-      & opt int (Ddsm_util.Jobs.default_shards ())
+      & opt int default_shards
       & info [ "shards" ] ~docv:"N"
           ~doc:
             "Shard the simulation itself across N domains (default from \
@@ -398,6 +506,17 @@ let () =
             "Write the sanitizer report as JSON to FILE (implies \
              $(b,--race)).")
   in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCK"
+          ~doc:
+            "Client mode: submit the positional $(b,.pf) source to the pfld \
+             daemon listening on the Unix-domain socket SOCK and render its \
+             reply exactly as a local run would (cached replies are \
+             byte-identical to one-shot output).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "pflrun" ~version:"1.0"
@@ -405,6 +524,6 @@ let () =
       Term.(
         const run $ image $ nprocs $ policy $ machine $ heap $ stats $ no_checks
         $ bounds $ max_cycles $ fault $ audit $ differential $ seed $ jobs
-        $ shards $ profile $ trace $ race $ race_json)
+        $ shards $ profile $ trace $ race $ race_json $ connect)
   in
   exit (Cmd.eval cmd)

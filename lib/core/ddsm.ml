@@ -76,17 +76,12 @@ let run_source ?flags ?machine ?policy ?heap_words ?machine_procs ?fault
           | Ok _ as ok -> ok
           | Error d -> Error (Diag.to_string d)))
 
-let save_image (l : Prelink.linked) ~path =
-  let oc = open_out_bin path in
-  Marshal.to_channel oc l [];
-  close_out oc
+(* Images ride the hardened Binfile container (magic/kind/version header,
+   payload digest, atomic install): a truncated, stale or foreign .pfi is
+   a located [Error], never a Marshal crash. *)
 
-let load_image ~path =
-  try
-    let ic = open_in_bin path in
-    let l : Prelink.linked = Marshal.from_channel ic in
-    close_in ic;
-    Ok l
-  with
-  | Sys_error e -> Error e
-  | Failure e -> Error ("corrupt program image: " ^ e)
+let save_image (l : Prelink.linked) ~path =
+  Ddsm_linker.Binfile.save ~kind:"image" ~path l
+
+let load_image ~path : (Prelink.linked, string) result =
+  Ddsm_linker.Binfile.load ~kind:"image" ~path

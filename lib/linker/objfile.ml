@@ -164,18 +164,12 @@ let shadow_path path =
   if Filename.check_suffix path ".pfo" then Filename.chop_suffix path ".pfo" ^ ".pfs"
   else path ^ ".pfs"
 
+(* Objects ride the hardened Binfile container: magic/kind/version header,
+   payload digest, atomic temp-file+rename install. A truncated, stale or
+   foreign .pfo is a located [Error], never a Marshal crash. *)
+
 let save t ~path =
-  let oc = open_out_bin path in
-  Marshal.to_channel oc t [];
-  close_out oc;
+  Binfile.save ~kind:"object" ~path t;
   Shadow.save t.shadow ~path:(shadow_path path)
 
-let load ~path =
-  try
-    let ic = open_in_bin path in
-    let t : t = Marshal.from_channel ic in
-    close_in ic;
-    Ok t
-  with
-  | Sys_error e -> Error e
-  | Failure e -> Error ("corrupt object file: " ^ e)
+let load ~path : (t, string) result = Binfile.load ~kind:"object" ~path

@@ -121,9 +121,19 @@ let of_string s =
   | None -> Ok t
 
 let save t ~path =
-  let oc = open_out path in
-  output_string oc (to_string t);
-  close_out oc
+  (* atomic like Binfile.save: temp file in the target directory, then
+     rename, so concurrent readers never see a partial shadow file *)
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:(Filename.dirname path) ".ddsm-" ".tmp"
+  in
+  (try
+     output_string oc (to_string t);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load ~path =
   try

@@ -1,9 +1,9 @@
-(** A minimal JSON value and emitter — enough for the Chrome trace-event
-    writer and the bench snapshot files, with no external dependency.
+(** A minimal JSON value, emitter and parser — enough for the Chrome
+    trace-event writer, the bench snapshot files and the [pfld]
+    line-framed request protocol, with no external dependency.
 
     Emission notes: [Float nan] becomes [null] (JSON has no NaN literal);
-    strings are escaped per RFC 8259. There is deliberately no parser here —
-    the test suite carries its own tiny reader to check round-trips. *)
+    strings are escaped per RFC 8259. *)
 
 type t =
   | Null
@@ -21,3 +21,10 @@ val to_channel : out_channel -> t -> unit
 
 val escape : string -> string
 (** JSON string-body escaping (no surrounding quotes). *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value (the RFC 8259 grammar; [\uXXXX] escapes
+    are decoded to UTF-8). Numeric literals without ['.']/['e'] that fit
+    an OCaml [int] parse as [Int], all other numbers as [Float]. Trailing
+    non-whitespace after the value is an error — exactly what a
+    line-framed protocol wants. Never raises. *)

@@ -1,0 +1,110 @@
+(* Content-addressed caches for the pfld daemon.
+
+   Two layers, both keyed by Proto digests:
+
+   - compiled: compile key -> linked image ([Prelink.linked]). Backed by
+     an optional on-disk directory of hardened Binfile images
+     (<dir>/<key>.pfi, written atomically), so a restarted daemon
+     warm-starts its compile cache. A corrupt, truncated or
+     stale-version cache file is counted and treated as a clean miss —
+     never an error, never a crash.
+
+   - sims: simulate key -> memoized reply body (id-less JSON fields).
+     In-memory only: replies are small and cheap to recompute after a
+     restart once the compile cache is warm.
+
+   All access is from the daemon's control thread; worker domains only
+   ever receive immutable values ([linked], request records) and return
+   results for the control thread to insert. *)
+
+module Ddsm = Ddsm_core.Ddsm
+module Json = Ddsm_report.Json
+
+type t = {
+  dir : string option;
+  compiled : (string, Ddsm_linker.Prelink.linked) Hashtbl.t;
+  sims : (string, (string * Json.t) list) Hashtbl.t;
+  mutable compile_hits : int;  (** served from memory *)
+  mutable compile_disk_hits : int;  (** served from the cache directory *)
+  mutable compile_misses : int;  (** actually compiled *)
+  mutable compile_disk_rejects : int;
+      (** corrupt/stale cache files skipped (each one is also a miss) *)
+  mutable sim_hits : int;
+  mutable sim_misses : int;
+}
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> (
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | _ -> ());
+  {
+    dir;
+    compiled = Hashtbl.create 64;
+    sims = Hashtbl.create 256;
+    compile_hits = 0;
+    compile_disk_hits = 0;
+    compile_misses = 0;
+    compile_disk_rejects = 0;
+    sim_hits = 0;
+    sim_misses = 0;
+  }
+
+let image_path dir key = Filename.concat dir (key ^ ".pfi")
+
+(* Memory first, then the cache directory. Counts exactly one of
+   {hit, disk hit, miss} per call; a rejected disk file counts both a
+   reject and a miss. *)
+let find_compiled t ~key =
+  match Hashtbl.find_opt t.compiled key with
+  | Some l ->
+      t.compile_hits <- t.compile_hits + 1;
+      Some l
+  | None -> (
+      match t.dir with
+      | None ->
+          t.compile_misses <- t.compile_misses + 1;
+          None
+      | Some dir -> (
+          let path = image_path dir key in
+          if not (Sys.file_exists path) then begin
+            t.compile_misses <- t.compile_misses + 1;
+            None
+          end
+          else
+            match Ddsm.load_image ~path with
+            | Ok l ->
+                t.compile_disk_hits <- t.compile_disk_hits + 1;
+                Hashtbl.replace t.compiled key l;
+                Some l
+            | Error _ ->
+                (* torn/stale/foreign cache entry: a clean miss *)
+                t.compile_disk_rejects <- t.compile_disk_rejects + 1;
+                t.compile_misses <- t.compile_misses + 1;
+                None))
+
+let store_compiled t ~key linked =
+  Hashtbl.replace t.compiled key linked;
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      (* best-effort persistence: an unwritable cache directory degrades
+         the daemon to memory-only, it never fails a request *)
+      try Ddsm.save_image linked ~path:(image_path dir key)
+      with Sys_error _ -> ())
+
+(* sim counting is done by the scheduler: a lookup that misses but is
+   satisfied by a within-round duplicate's computation is still a hit
+   (it cost no simulation), which only the round logic can know *)
+let find_sim t ~key = Hashtbl.find_opt t.sims key
+let store_sim t ~key body = Hashtbl.replace t.sims key body
+
+let stats_fields t =
+  [
+    ("compile_hits", Json.Int t.compile_hits);
+    ("compile_disk_hits", Json.Int t.compile_disk_hits);
+    ("compile_misses", Json.Int t.compile_misses);
+    ("compile_disk_rejects", Json.Int t.compile_disk_rejects);
+    ("sim_hits", Json.Int t.sim_hits);
+    ("sim_misses", Json.Int t.sim_misses);
+  ]

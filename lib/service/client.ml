@@ -1,0 +1,69 @@
+(* Line-framed client for the pfld daemon: used by [pflrun --connect],
+   the service bench, the concurrency tests, and the CI smoke. Blocking
+   I/O — callers drive one request/reply conversation per connection (the
+   daemon itself never blocks on a slow client thanks to round-based
+   scheduling). *)
+
+module U = Unix
+module Json = Ddsm_report.Json
+
+type t = { fd : U.file_descr; rbuf : Buffer.t }
+
+let connect ~sock =
+  let fd = U.socket U.PF_UNIX U.SOCK_STREAM 0 in
+  match U.connect fd (U.ADDR_UNIX sock) with
+  | () -> Ok { fd; rbuf = Buffer.create 4096 }
+  | exception U.Unix_error (e, _, _) ->
+      U.close fd;
+      Error
+        (Printf.sprintf "cannot connect to %s: %s (is pfld running?)" sock
+           (U.error_message e))
+
+let close t = try U.close t.fd with U.Unix_error _ -> ()
+
+let send t j =
+  let s = Json.to_string j ^ "\n" in
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + U.write_substring t.fd s off (n - off))
+  in
+  go 0
+
+(* one complete reply line; [Error] on a daemon that went away mid-line *)
+let recv_line t =
+  let take_line () =
+    let data = Buffer.contents t.rbuf in
+    match String.index_opt data '\n' with
+    | None -> None
+    | Some nl ->
+        Buffer.clear t.rbuf;
+        Buffer.add_substring t.rbuf data (nl + 1)
+          (String.length data - nl - 1);
+        Some (String.sub data 0 nl)
+  in
+  let bytes = Bytes.create 65536 in
+  let rec go () =
+    match take_line () with
+    | Some line -> Ok line
+    | None -> (
+        match U.read t.fd bytes 0 (Bytes.length bytes) with
+        | 0 -> Error "connection closed by pfld"
+        | n ->
+            Buffer.add_subbytes t.rbuf bytes 0 n;
+            go ()
+        | exception U.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "read from pfld failed: %s" (U.error_message e)))
+  in
+  go ()
+
+let recv t =
+  match recv_line t with
+  | Error _ as e -> e
+  | Ok line -> (
+      match Json.of_string line with
+      | Ok j -> Ok j
+      | Error e -> Error (Printf.sprintf "malformed reply %S: %s" line e))
+
+let rpc t j =
+  send t j;
+  recv t
